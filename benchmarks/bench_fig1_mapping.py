@@ -1,0 +1,54 @@
+"""Figure 1 — the 3-D diagonal multipartitioning for 16 processors.
+
+Regenerates the tile-to-processor assignment drawn in the paper's Figure 1
+(both via the classical diagonal formula and via the general Section-4
+construction) and benchmarks mapping construction + property verification.
+"""
+
+import numpy as np
+
+from repro.analysis.report import render_figure1
+from repro.core.diagonal import diagonal_3d
+from repro.core.mapping import Multipartitioning
+from repro.core.modmap import build_modular_mapping
+from repro.core.properties import has_balance_property, has_neighbor_property
+
+
+def test_figure1_diagonal_formula(benchmark, report):
+    grid = benchmark(diagonal_3d, 16)
+    mp = Multipartitioning(grid, 16)
+    report(
+        "Figure 1: 3-D diagonal multipartitioning, p=16 "
+        "(theta(i,j,k) = ((i-k) mod 4)*4 + ((j-k) mod 4))",
+        render_figure1(mp, axis=2),
+    )
+    # the k=0 face enumerates the 16 processors row-major, as drawn
+    assert grid[:, :, 0].ravel().tolist() == list(range(16))
+
+
+def test_figure1_general_construction(benchmark, report):
+    """The Section-4 modular mapping on the same 4x4x4 grid — a different
+    but equally valid assignment (the paper notes the solution set is
+    large); must satisfy the same properties."""
+
+    def construct():
+        mm = build_modular_mapping((4, 4, 4), 16)
+        return mm.rank_grid((4, 4, 4))
+
+    grid = benchmark(construct)
+    assert has_balance_property(grid, 16)
+    assert has_neighbor_property(grid)
+    mp = Multipartitioning(grid, 16)
+    report(
+        "Figure 1 (general Section-4 construction, p=16)",
+        render_figure1(mp, axis=2),
+    )
+
+
+def test_figure1_property_verification_cost(benchmark):
+    grid = diagonal_3d(16)
+
+    def verify():
+        return has_balance_property(grid, 16) and has_neighbor_property(grid)
+
+    assert benchmark(verify)

@@ -1,0 +1,74 @@
+"""Figure 2 — the elementary-partitioning generator and its complexity.
+
+The paper's Figure 2 is the generation program itself plus the claim that
+the number of elementary partitionings is
+``O((d(d-1)/2)^((1+o(1)) log p / log log p))``.  This bench regenerates the
+Section-3.2 example lists, tabulates exact counts against the bound along
+the worst-case (primorial) sequence, and benchmarks enumeration speed for
+realistic and adversarial processor counts.
+"""
+
+from repro.analysis.counting import bound_main_term, worst_case_counts
+from repro.analysis.report import format_table
+from repro.core.elementary import (
+    count_elementary_partitionings,
+    elementary_partitionings,
+    elementary_partitionings_unordered,
+)
+
+
+def test_section32_examples(benchmark, report):
+    def regen():
+        rows = []
+        for p in (8, 30):
+            for g in elementary_partitionings_unordered(p, 3):
+                rows.append([p, g])
+        return rows
+
+    rows = benchmark.pedantic(regen, rounds=1, iterations=1)
+    report(
+        "Section 3.2: elementary partitionings for p=8 and p=30 (d=3)",
+        format_table(["p", "gammas"], rows),
+    )
+    assert elementary_partitionings_unordered(8, 3) == [
+        (8, 8, 1),
+        (4, 4, 2),
+    ]
+
+
+def test_enumeration_count_vs_bound(benchmark, report):
+    def regen():
+        return [
+            [p, count, bound, bound_main_term(p, 3, slack=2.0)]
+            for p, count, bound in worst_case_counts(2400, d=3)
+        ]
+
+    rows = benchmark.pedantic(regen, rounds=1, iterations=1)
+    report(
+        "Figure 2 complexity: exact counts vs bound (primorial worst cases,"
+        " d=3)",
+        format_table(["p", "#elementary", "bound", "bound(slack=2)"], rows),
+    )
+    for p, count, _ in worst_case_counts(2400, d=3):
+        assert count <= bound_main_term(p, 3, slack=2.0)
+
+
+def test_enumeration_speed_realistic(benchmark):
+    """p <= 1000 'since this is the situation we expect in practice'."""
+
+    def enumerate_many():
+        total = 0
+        for p in (128, 360, 729, 960, 1000):
+            total += sum(1 for _ in elementary_partitionings(p, 3))
+        return total
+
+    total = benchmark(enumerate_many)
+    assert total > 0
+
+
+def test_enumeration_speed_worst_case_d5(benchmark):
+    def worst():
+        return count_elementary_partitionings(2310, 5)  # 2*3*5*7*11
+
+    count = benchmark(worst)
+    assert count == 10**5  # 10 distributions per single-multiplicity factor

@@ -1,0 +1,47 @@
+"""Table 1 — NAS SP class B speedups: hand-coded (diagonal) vs dHPF
+(generalized multipartitioning) on the Origin-2000 machine model.
+
+Regenerates every row of the paper's Table 1 (modeled, shapes not absolute
+seconds) and benchmarks the full table computation.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table1
+from repro.analysis.speedup import PAPER_CPU_COUNTS, sp_speedup_table
+from repro.apps.sp import sp_class
+
+
+@pytest.fixture(scope="module")
+def sp_schedule():
+    prob = sp_class("B", steps=1)
+    return prob.shape, prob.schedule()
+
+
+def test_table1_regeneration(benchmark, sp_schedule, report):
+    shape, schedule = sp_schedule
+    rows = benchmark(sp_speedup_table, shape, schedule)
+    report("Table 1: NAS SP class B speedups (modeled)", format_table1(rows))
+    by_p = {r.p: r for r in rows}
+    # paper shape claims
+    assert [r.p for r in rows] == list(PAPER_CPU_COUNTS)
+    assert by_p[50].dhpf_speedup < by_p[49].dhpf_speedup
+    assert all(r.efficiency > 0.7 for r in rows)
+    assert tuple(sorted(by_p[50].gammas)) == (5, 10, 10)
+
+
+def test_table1_single_point_p50(benchmark, sp_schedule):
+    """Micro-bench: one full plan + modeled run at the interesting p=50."""
+    from repro.core.api import plan_multipartitioning
+    from repro.simmpi.machine import origin2000
+    from repro.sweep.modeled import multipart_time
+
+    shape, schedule = sp_schedule
+    machine = origin2000()
+
+    def run():
+        plan = plan_multipartitioning(shape, 50, machine.to_cost_model())
+        return multipart_time(shape, plan.partitioning, machine, schedule)
+
+    t = benchmark(run)
+    assert t > 0

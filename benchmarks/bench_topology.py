@@ -1,0 +1,131 @@
+"""Extension bench — topology-aware mapping selection (the §4 future work).
+
+"more experiments might show that [legal mappings] are not all equivalent
+in terms of execution time, for example because of communication patterns
+... the network topology is not taken into account yet."
+
+Measures: (a) hop profiles of the historical mappings on their native
+topologies (Johnsson/ring, Bruno–Cappello/hypercube); (b) the spread in
+topology cost across valid mapping variants of one tile grid; (c) simulated
+end-to-end effect of choosing the best vs the worst variant on a
+hop-latency-dominated ring machine.
+"""
+
+import numpy as np
+
+from repro.analysis.locality import (
+    best_mapping_for_topology,
+    hop_profile,
+    mapping_variants,
+    sweep_hop_cost,
+)
+from repro.analysis.report import format_table
+from repro.apps.workloads import random_field
+from repro.core.diagonal import gray_code_3d, latin_square_2d
+from repro.core.mapping import Multipartitioning
+from repro.simmpi.machine import MachineModel
+from repro.simmpi.topology import Hypercube, Ring
+from repro.sweep.multipart import MultipartExecutor
+from repro.sweep.ops import SweepOp
+from repro.sweep.sequential import run_sequential
+
+
+def test_historical_mappings(benchmark, report):
+    rows = []
+    for p in (4, 9, 16):
+        mp = Multipartitioning(latin_square_2d(p), p)
+        prof = hop_profile(mp, Ring(p))
+        rows.append([f"Johnsson 2-D, p={p}", "ring", prof.mean_hops,
+                     prof.max_hops])
+    mp = Multipartitioning(gray_code_3d(2), 16)
+    prof = hop_profile(mp, Hypercube(4))
+    rows.append(["Bruno-Cappello 3-D, p=16", "hypercube",
+                 prof.mean_hops, prof.max_hops])
+    benchmark.pedantic(
+        lambda: hop_profile(
+            Multipartitioning(gray_code_3d(2), 16), Hypercube(4)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Historical mappings on their native topologies (Section 2)",
+        format_table(["mapping", "topology", "mean hops", "max hops"], rows),
+    )
+    assert rows[0][3] == 1  # Johnsson: nearest-neighbor ring traffic
+
+
+def test_variant_spread(benchmark, report):
+    """Valid mappings of one tile grid are NOT equivalent on a real
+    topology — quantified."""
+
+    def spread():
+        out = []
+        for gammas, p in [((4, 4, 2), 8), ((2, 3, 6), 6), ((5, 10, 10), 50)]:
+            topo = Ring(p)
+            costs = [
+                sweep_hop_cost(mp, topo)
+                for _, mp in mapping_variants(gammas, p)
+            ]
+            out.append([gammas, p, min(costs), max(costs)])
+        return out
+
+    rows = benchmark.pedantic(spread, rounds=1, iterations=1)
+    report(
+        "Sweep hop cost across valid mapping variants (ring topology)",
+        format_table(
+            ["tile grid", "p", "best variant", "worst variant"], rows
+        ),
+    )
+    for row in rows:
+        assert row[2] <= row[3]
+    # at least one grid shows a real spread
+    assert any(row[3] > row[2] for row in rows)
+
+
+def test_simulated_effect_on_ring(benchmark, report):
+    """End-to-end: on a hop-latency-dominated ring, the topology-chosen
+    mapping beats the worst variant in simulated time, with identical
+    numerics."""
+    gammas, p = (4, 4, 2), 8
+    shape = (16, 16, 16)
+    topo = Ring(p)
+    machine = MachineModel(
+        compute_per_point=1e-8,
+        overhead=1e-6,
+        latency=5e-6,
+        per_hop_latency=5e-5,   # hops dominate
+        bandwidth=1e9,
+        topology=topo,
+    )
+    sched = [SweepOp(axis=a, mult=0.5) for a in range(3)]
+    field = random_field(shape)
+    ref = run_sequential(field, sched)
+
+    variants = mapping_variants(gammas, p)
+    costs = [(sweep_hop_cost(mp, topo), mp) for _, mp in variants]
+    worst_mp = max(costs, key=lambda c: c[0])[1]
+    best_mp, _ = best_mapping_for_topology(gammas, p, topo)
+
+    def run_best():
+        return MultipartExecutor(best_mp, shape, machine).run(field, sched)
+
+    out_b, res_b = benchmark(run_best)
+    out_w, res_w = MultipartExecutor(worst_mp, shape, machine).run(
+        field, sched
+    )
+    assert np.allclose(out_b, ref, atol=1e-12)
+    assert np.allclose(out_w, ref, atol=1e-12)
+    report(
+        "Topology-aware mapping choice (ring, hop-latency dominated, "
+        f"{gammas}@{p})",
+        format_table(
+            ["variant", "virtual time (s)", "hop cost"],
+            [
+                ["best", res_b.makespan, sweep_hop_cost(best_mp, topo)],
+                ["worst", res_w.makespan, sweep_hop_cost(worst_mp, topo)],
+            ],
+        ),
+    )
+    if sweep_hop_cost(best_mp, topo) < sweep_hop_cost(worst_mp, topo):
+        assert res_b.makespan <= res_w.makespan

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures (or an ablation)
+and *prints* the regenerated rows — run with ``pytest benchmarks/
+--benchmark-only -s`` to see them; ``report`` also appends to
+``benchmarks/results.txt`` so a plain ``--benchmark-only`` run leaves the
+artifacts on disk for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_RESULTS = pathlib.Path(__file__).parent / "results.txt"
+
+
+def pytest_configure(config):
+    # start each benchmark session with a fresh results file
+    if _RESULTS.exists():
+        _RESULTS.unlink()
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a regenerated artifact and persist it to results.txt."""
+
+    def _report(title: str, text: str) -> None:
+        block = f"\n===== {title} =====\n{text}\n"
+        print(block)
+        with _RESULTS.open("a") as fh:
+            fh.write(block)
+
+    return _report

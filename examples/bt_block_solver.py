@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""NAS-BT-style block-tridiagonal solves on a multipartitioned 5-vector
+field.
+
+    python examples/bt_block_solver.py [p]
+
+BT is the other NAS benchmark parallelized with multipartitioning: each
+grid point carries a 5-vector and the per-dimension solves are
+block-tridiagonal (5x5 blocks).  This example plans the distribution
+through the dHPF-lite ``DISTRIBUTE (MULTI, MULTI, MULTI, *)`` directive
+(the component axis is never cut), runs a full distributed time step with
+real data, verifies it against the sequential solver, and contrasts the
+communication volume with scalar SP.
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.apps.bt import BTProblem, bt_plan
+from repro.apps.sp import SPProblem
+from repro.apps.workloads import random_field
+from repro.core.api import plan_multipartitioning
+from repro.simmpi import origin2000
+from repro.sweep import MultipartExecutor
+
+
+def main() -> None:
+    p = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    shape = (12, 12, 12)
+    machine = origin2000()
+
+    bt = BTProblem(shape=shape, steps=1)
+    plan = bt_plan(shape, p, machine.to_cost_model())
+    print(
+        f"BT field {bt.field_shape} on {p} ranks: spatial tiling "
+        f"{plan.gammas[:3]}, component axis uncut (gamma={plan.gammas[3]})"
+    )
+
+    field = random_field(bt.field_shape)
+    reference = bt.solve_sequential(field)
+    out, run_bt = MultipartExecutor(
+        plan.partitioning, bt.field_shape, machine
+    ).run(field, bt.schedule())
+    err = float(np.abs(out - reference).max())
+    print(f"max |distributed - sequential| = {err:.2e}")
+    assert err < 1e-9
+
+    # scalar SP on the same grid for contrast
+    sp = SPProblem(shape=shape, steps=1)
+    sp_plan = plan_multipartitioning(shape, p, machine.to_cost_model())
+    sp_field = random_field(shape)
+    _, run_sp = MultipartExecutor(
+        sp_plan.partitioning, shape, machine
+    ).run(sp_field, sp.schedule())
+
+    print(
+        format_table(
+            ["benchmark", "virtual ms", "messages", "KiB moved"],
+            [
+                ["BT (5x5 blocks)", run_bt.makespan * 1e3,
+                 run_bt.message_count, run_bt.total_bytes // 1024],
+                ["SP (scalar)", run_sp.makespan * 1e3,
+                 run_sp.message_count, run_sp.total_bytes // 1024],
+            ],
+            title=f"One time step at {shape}, p={p}",
+        )
+    )
+    print(
+        "\nBT moves ~5x the boundary data per sweep (5-vectors) and does "
+        "~7x the flops,\nso communication is relatively cheaper — "
+        "multipartitioning scales BT even better."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""NAS SP scaling study — regenerates the paper's Table 1.
+
+    python examples/nas_sp_scaling.py [class]
+
+Builds the SP proxy schedule (RHS + pentadiagonal x/y/z solves + add per
+step), models its execution at class-B scale on the Origin-2000 machine
+model for every processor count in the paper's Table 1, and prints the
+hand-coded (diagonal, perfect squares only) vs dHPF (generalized) speedups
+next to the published numbers.
+"""
+
+import sys
+
+from repro.analysis.report import format_table1
+from repro.analysis.speedup import sp_speedup_table
+from repro.apps.sp import sp_class
+from repro.sweep.modeled import best_processor_count_modeled
+from repro.simmpi.machine import origin2000
+
+
+def main() -> None:
+    cls = sys.argv[1] if len(sys.argv) > 1 else "B"
+    prob = sp_class(cls, steps=1)
+    schedule = prob.schedule()
+    rows = sp_speedup_table(prob.shape, schedule)
+    print(format_table1(rows))
+
+    by_p = {r.p: r for r in rows}
+    print()
+    print(
+        "paper's conclusion check: dHPF speedup at 49 CPUs "
+        f"({by_p[49].dhpf_speedup:.2f}, 7x7x7) vs 50 CPUs "
+        f"({by_p[50].dhpf_speedup:.2f}, 5x10x10) -> "
+        f"{'49 wins' if by_p[49].dhpf_speedup > by_p[50].dhpf_speedup else '50 wins'}"
+    )
+    p_used, _ = best_processor_count_modeled(
+        prob.shape, 50, origin2000(), schedule
+    )
+    print(f"processor-dropping search for p=50 picks p'={p_used}")
+
+
+if __name__ == "__main__":
+    main()

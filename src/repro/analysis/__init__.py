@@ -1,0 +1,51 @@
+"""Analysis utilities: speedups (Table 1), enumeration counts (Figure 2
+complexity), and ASCII report rendering."""
+
+from .calibration import CalibrationResult, calibrate, pingpong_times
+from .counting import bound_main_term, count_table, primorials, worst_case_counts
+from .locality import (
+    HopProfile,
+    best_mapping_for_topology,
+    hop_profile,
+    mapping_variants,
+    sweep_hop_cost,
+)
+from .phases import OpBreakdown, format_breakdown, op_breakdown
+from .report import format_table, format_table1, render_figure1
+from .sensitivity import DecisionPoint, decision_boundary, tiling_vs_parameter
+from .speedup import (
+    PAPER_CPU_COUNTS,
+    PAPER_TABLE1_DHPF,
+    PAPER_TABLE1_HAND,
+    SpeedupRow,
+    sp_speedup_table,
+)
+
+__all__ = [
+    "CalibrationResult",
+    "calibrate",
+    "pingpong_times",
+    "bound_main_term",
+    "HopProfile",
+    "best_mapping_for_topology",
+    "hop_profile",
+    "mapping_variants",
+    "sweep_hop_cost",
+    "DecisionPoint",
+    "decision_boundary",
+    "tiling_vs_parameter",
+    "OpBreakdown",
+    "format_breakdown",
+    "op_breakdown",
+    "count_table",
+    "primorials",
+    "worst_case_counts",
+    "format_table",
+    "format_table1",
+    "render_figure1",
+    "PAPER_CPU_COUNTS",
+    "PAPER_TABLE1_DHPF",
+    "PAPER_TABLE1_HAND",
+    "SpeedupRow",
+    "sp_speedup_table",
+]

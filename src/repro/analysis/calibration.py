@@ -1,0 +1,117 @@
+"""Cost-model calibration: fit the Section-3.1 constants from measurements.
+
+The optimizer needs ``K1`` (compute/element), ``K2`` (per-phase start-up)
+and ``K3`` (per-element transfer) for the machine at hand.  On real
+hardware these come from microbenchmarks; here we run the same
+microbenchmarks against the simulator and recover the constants by linear
+least squares — closing the loop between the analytic model and the
+machine substrate (tests check the fit against the machine's true
+parameters).
+
+Microbenchmarks:
+
+* ping-pong at several message sizes  ->  K2 (intercept), K3 (slope);
+* local compute at several sizes      ->  K1 (slope).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.cost import CostModel, NetworkScaling
+from repro.simmpi.comm import Comm
+from repro.simmpi.engine import run_programs
+from repro.simmpi.machine import MachineModel
+from repro.simmpi.message import Bytes
+
+__all__ = ["CalibrationResult", "pingpong_times", "calibrate"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CalibrationResult:
+    """Fitted constants plus goodness-of-fit diagnostics."""
+
+    k1: float
+    k2: float
+    k3: float
+    pingpong_residual: float  # max relative residual of the comm fit
+
+    def to_cost_model(
+        self, scaling: NetworkScaling = NetworkScaling.SCALABLE
+    ) -> CostModel:
+        return CostModel(
+            k1=self.k1, k2=self.k2, k3=self.k3, scaling=scaling
+        )
+
+
+def pingpong_times(
+    machine: MachineModel, sizes: Sequence[int]
+) -> list[float]:
+    """One-way message times (half round-trip) at the given element
+    counts, measured on the simulator."""
+    times = []
+    for elements in sizes:
+        nbytes = elements * machine.itemsize
+
+        def prog(comm: Comm):
+            if comm.rank == 0:
+                yield from comm.send(Bytes(nbytes), dest=1, tag=1)
+                yield from comm.recv(source=1, tag=2)
+            else:
+                yield from comm.recv(source=0, tag=1)
+                yield from comm.send(Bytes(nbytes), dest=0, tag=2)
+            return None
+
+        result = run_programs(
+            machine, [prog(Comm(0, 2)), prog(Comm(1, 2))]
+        )
+        times.append(result.makespan / 2.0)
+    return times
+
+
+def compute_times(
+    machine: MachineModel, sizes: Sequence[int]
+) -> list[float]:
+    """Single-rank compute times for one kernel pass over ``n`` elements."""
+    times = []
+    for elements in sizes:
+
+        def prog(comm: Comm):
+            yield from comm.compute(
+                machine.compute_time(elements, ops=1.0), points=elements
+            )
+            return None
+
+        result = run_programs(machine, [prog(Comm(0, 1))])
+        times.append(result.makespan)
+    return times
+
+
+def calibrate(
+    machine: MachineModel,
+    sizes: Sequence[int] = (1, 64, 512, 4096, 32768, 262144),
+) -> CalibrationResult:
+    """Fit (K1, K2, K3) for ``machine`` by least squares over the
+    microbenchmarks."""
+    sizes = list(sizes)
+    if len(sizes) < 2:
+        raise ValueError("need at least two sizes to fit a line")
+
+    # communication: t(n) = K2 + K3 * n
+    comm_t = np.array(pingpong_times(machine, sizes))
+    A = np.vstack([np.ones(len(sizes)), np.array(sizes, float)]).T
+    (k2, k3), *_ = np.linalg.lstsq(A, comm_t, rcond=None)
+    predicted = A @ np.array([k2, k3])
+    residual = float(np.max(np.abs(predicted - comm_t) / comm_t))
+
+    # compute: t(n) = K1 * n (through the origin)
+    comp_t = np.array(compute_times(machine, sizes))
+    n = np.array(sizes, float)
+    k1 = float((n @ comp_t) / (n @ n))
+
+    return CalibrationResult(
+        k1=k1, k2=float(k2), k3=float(k3), pingpong_residual=residual
+    )

@@ -1,0 +1,66 @@
+"""Enumeration-size study for the Figure-2 complexity claim.
+
+The paper proves the number of elementary partitionings is
+``O((d(d-1)/2) ** ((1 + o(1)) * log p / log log p))`` and that the bound is
+tight.  This module computes exact counts and the bound's main term so the
+claim can be checked empirically (the worst cases are highly-composite
+``p``, where ``log p / log log p`` tracks the divisor-count growth).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.elementary import count_elementary_partitionings
+
+__all__ = [
+    "bound_main_term",
+    "count_table",
+    "worst_case_counts",
+    "primorials",
+]
+
+
+def bound_main_term(p: int, d: int, slack: float = 1.0) -> float:
+    """The paper's asymptotic bound with an explicit ``(1 + o(1))`` slack:
+    ``(d(d-1)/2) ** (slack * log p / log log p)``, for ``p >= 3``."""
+    if p < 3:
+        return float(d * (d - 1) // 2)
+    base = d * (d - 1) / 2.0
+    exponent = slack * math.log(p) / math.log(math.log(p))
+    return base**exponent
+
+
+def count_table(
+    p_values, d_values=(3, 4, 5)
+) -> list[tuple[int, dict[int, int]]]:
+    """Exact elementary-partitioning counts: one row per ``p`` with a
+    ``{d: count}`` mapping."""
+    return [
+        (p, {d: count_elementary_partitionings(p, d) for d in d_values})
+        for p in p_values
+    ]
+
+
+def primorials(limit: int) -> list[int]:
+    """Products of the first k primes up to ``limit`` — the worst cases for
+    the enumeration (most distinct factors for their size)."""
+    out = []
+    product = 1
+    candidate = 2
+    while True:
+        if all(candidate % q for q in range(2, int(candidate**0.5) + 1)):
+            if product * candidate > limit:
+                break
+            product *= candidate
+            out.append(product)
+        candidate += 1
+    return out
+
+
+def worst_case_counts(limit: int, d: int = 3) -> list[tuple[int, int, float]]:
+    """(p, exact count, bound main term) along the primorial sequence."""
+    return [
+        (p, count_elementary_partitionings(p, d), bound_main_term(p, d))
+        for p in primorials(limit)
+    ]

@@ -1,0 +1,102 @@
+"""Per-op time breakdown of simulated runs.
+
+The multipartitioned executor marks every schedule op in the trace
+(``record_events=True``); this module folds a run's events into per-op
+compute / communication / idle totals — the profile a performance engineer
+would pull to see *where* a schedule spends its virtual time (e.g. "the
+z-solve's communication phases dominate at this p").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+
+from repro.simmpi.trace import RunResult
+
+__all__ = ["OpBreakdown", "op_breakdown", "format_breakdown"]
+
+
+@dataclasses.dataclass(frozen=True)
+class OpBreakdown:
+    """Aggregated (across ranks) time inside one schedule op."""
+
+    label: str
+    compute_seconds: float
+    comm_seconds: float
+    span_seconds: float  # wall span from first mark to next op's mark
+
+    @property
+    def idle_seconds(self) -> float:
+        return max(
+            0.0, self.span_seconds - self.compute_seconds - self.comm_seconds
+        )
+
+
+def op_breakdown(result: RunResult) -> list[OpBreakdown]:
+    """Fold a recorded run into per-op totals.
+
+    Requires the op marks the multipartitioned executor emits
+    (``opN:<label>``); events between consecutive marks of one rank belong
+    to the earlier op.
+    """
+    events = result.trace.events
+    if not events:
+        raise ValueError("trace has no events — run with record_events=True")
+    # per-rank sorted timelines
+    per_rank: dict[int, list] = defaultdict(list)
+    for e in events:
+        per_rank[e.rank].append(e)
+    compute: dict[str, float] = defaultdict(float)
+    comm: dict[str, float] = defaultdict(float)
+    span: dict[str, float] = defaultdict(float)
+    order: list[str] = []
+    found_marks = False
+    for rank, evs in per_rank.items():
+        evs = sorted(evs, key=lambda e: (e.start, e.end))
+        current = None
+        op_start = 0.0
+        for e in evs:
+            if e.kind == "mark" and e.detail.startswith("op"):
+                found_marks = True
+                if current is not None:
+                    span[current] += e.start - op_start
+                current = e.detail
+                op_start = e.start
+                if current not in order:
+                    order.append(current)
+            elif current is not None:
+                if e.kind == "compute":
+                    compute[current] += e.end - e.start
+                elif e.kind in ("send", "recv"):
+                    comm[current] += e.end - e.start
+        if current is not None:
+            span[current] += result.clocks[rank] - op_start
+    if not found_marks:
+        raise ValueError(
+            "no op marks in trace — use the multipartitioned executor with "
+            "record_events=True"
+        )
+    return [
+        OpBreakdown(
+            label=label,
+            compute_seconds=compute[label],
+            comm_seconds=comm[label],
+            span_seconds=span[label],
+        )
+        for label in order
+    ]
+
+
+def format_breakdown(rows: list[OpBreakdown]) -> str:
+    """Render the per-op profile as a fixed-width table."""
+    from .report import format_table
+
+    return format_table(
+        ["op", "compute (s)", "comm (s)", "idle (s)"],
+        [
+            [r.label, r.compute_seconds, r.comm_seconds, r.idle_seconds]
+            for r in rows
+        ],
+        title="per-op time breakdown (all ranks aggregated)",
+    )

@@ -1,0 +1,95 @@
+"""Sensitivity of partitioning decisions to machine parameters.
+
+The Section-3.1 objective bakes the machine into ``lambda_i``; these sweeps
+show *how much* the decisions depend on it — which tilings are robust, and
+where the decision boundaries lie.  Used by the ablation benches and
+available as a library feature for users porting to new machines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.core.cost import CostModel
+from repro.core.optimizer import optimal_partitioning
+
+__all__ = [
+    "DecisionPoint",
+    "tiling_vs_parameter",
+    "decision_boundary",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class DecisionPoint:
+    """One row of a sensitivity sweep."""
+
+    parameter: str
+    value: float
+    gammas: tuple[int, ...]
+    cost: float
+
+
+def tiling_vs_parameter(
+    shape: Sequence[int],
+    p: int,
+    parameter: str,
+    values: Sequence[float],
+    base: CostModel | None = None,
+) -> list[DecisionPoint]:
+    """Optimal tiling as one cost-model constant sweeps through ``values``.
+
+    ``parameter`` is one of ``k1``, ``k2``, ``k3``.
+    """
+    base = base or CostModel()
+    if parameter not in ("k1", "k2", "k3"):
+        raise ValueError("parameter must be one of k1, k2, k3")
+    out = []
+    for v in values:
+        model = dataclasses.replace(base, **{parameter: float(v)})
+        choice = optimal_partitioning(tuple(shape), p, model)
+        out.append(
+            DecisionPoint(
+                parameter=parameter,
+                value=float(v),
+                gammas=choice.gammas,
+                cost=choice.cost,
+            )
+        )
+    return out
+
+
+def decision_boundary(
+    shape: Sequence[int],
+    p: int,
+    parameter: str,
+    lo: float,
+    hi: float,
+    base: CostModel | None = None,
+    tol: float = 1e-3,
+    max_iter: int = 80,
+) -> float | None:
+    """Bisect for the parameter value where the optimal tiling changes
+    between ``lo`` and ``hi``; ``None`` if the decision is constant.
+
+    The returned value is accurate to a relative ``tol`` on the parameter.
+    """
+    base = base or CostModel()
+    points = tiling_vs_parameter(shape, p, parameter, [lo, hi], base)
+    g_lo, g_hi = points[0].gammas, points[1].gammas
+    if g_lo == g_hi:
+        return None
+    a, b = float(lo), float(hi)
+    for _ in range(max_iter):
+        mid = (a + b) / 2.0
+        g_mid = tiling_vs_parameter(shape, p, parameter, [mid], base)[
+            0
+        ].gammas
+        if g_mid == g_lo:
+            a = mid
+        else:
+            b = mid
+        if b - a <= tol * max(abs(a), abs(b), 1e-300):
+            break
+    return (a + b) / 2.0

@@ -1,0 +1,208 @@
+"""NAS-SP-like proxy benchmark (Section 5's evaluation workload).
+
+NAS SP advances the Navier–Stokes equations with Beam–Warming approximate
+factorization: every time step computes a right-hand side, then solves
+*scalar pentadiagonal* systems along x, y and z, then applies an additive
+update.  What multipartitioning cares about is the sweep structure, which
+this proxy reproduces exactly:
+
+* ``compute_rhs`` -> one pointwise op (stencil arithmetic, local after
+  shadow exchange — dHPF's partial replication makes it communication-free,
+  so we charge it as local flops);
+* ``x_solve``/``y_solve``/``z_solve`` -> a **pentadiagonal** solve along the
+  axis.  A constant-coefficient symmetric pentadiagonal operator factors as
+  the square of a tridiagonal one (``P = T @ T``), so each solve is two
+  Thomas solves = four line sweeps per axis — the same
+  forward/forward/backward/backward sweep pattern as NAS SP's scalar
+  pentadiagonal solver;
+* ``add`` -> one pointwise op.
+
+Per step: 12 sweeps + 2 pointwise phases over a ``102**3`` class-B grid.
+The substitution (real SP's variable-coefficient CFD pentadiagonals -> this
+constant-coefficient proxy) preserves the communication pattern, phase
+structure, and per-element work scaling, which are what Table 1 measures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.sweep.ops import (
+    BinaryPointwiseOp,
+    PointwiseOp,
+    StencilOp,
+    thomas_ops,
+)
+from repro.sweep.recurrence import thomas_solve, tridiagonal_matvec
+from repro.sweep.sequential import run_sequential
+
+from .workloads import CLASS_SHAPES, CLASS_STEPS
+
+__all__ = ["SPProblem", "sp_class"]
+
+# NAS SP's per-point flop estimates (order of magnitude): the RHS is a wide
+# 13-point stencil evaluation, each solve line-sweep is a few multiply-adds.
+_RHS_FLOPS = 60.0
+_ADD_FLOPS = 5.0
+_SWEEP_FLOPS = 5.0
+
+
+@dataclasses.dataclass(frozen=True)
+class SPProblem:
+    """A proxy SP instance on a 3-D grid."""
+
+    shape: tuple[int, int, int]
+    steps: int = 1
+    a: float = -1.0   # tridiagonal factor T = tridiag(a, b, a); P = T @ T
+    b: float = 4.0
+    #: when True, compute_rhs is a real 7-point star stencil with halo
+    #: exchange (the shadow-region path of repro.hpf); when False it is a
+    #: local pointwise proxy charged at the same flop weight.
+    stencil_rhs: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.shape) != 3:
+            raise ValueError("SP is a 3-D benchmark")
+        if self.steps < 1:
+            raise ValueError("steps must be >= 1")
+        if abs(self.b) <= 2 * abs(self.a):
+            raise ValueError(
+                "tridiagonal factor must be diagonally dominant"
+            )
+
+    # -- schedule construction ----------------------------------------------
+
+    def solve_ops(self, axis: int) -> list:
+        """The pentadiagonal solve along ``axis``: two Thomas solves of the
+        tridiagonal factor (4 sweeps)."""
+        n = self.shape[axis]
+        one = thomas_ops(n, axis, self.a, self.b, self.a)
+        one = [
+            dataclasses.replace(op, flops_per_point=_SWEEP_FLOPS)
+            for op in one
+        ]
+        return one + [dataclasses.replace(op) for op in one]
+
+    def step_schedule(self) -> list:
+        """One SP time step: rhs, x/y/z pentadiagonal solves, add."""
+        if self.stencil_rhs:
+            rhs_op: object = StencilOp(
+                fn=_stencil_rhs,
+                reach=((1, 1), (1, 1), (1, 1)),
+                flops_per_point=_RHS_FLOPS,
+                name="compute_rhs",
+            )
+        else:
+            rhs_op = PointwiseOp(
+                fn=_compute_rhs, flops_per_point=_RHS_FLOPS,
+                name="compute_rhs",
+            )
+        ops: list = [rhs_op]
+        for axis in range(3):
+            ops.extend(self.solve_ops(axis))
+        ops.append(
+            PointwiseOp(fn=_add_update, flops_per_point=_ADD_FLOPS,
+                        name="add")
+        )
+        return ops
+
+    def schedule(self) -> list:
+        ops: list = []
+        for _ in range(self.steps):
+            ops.extend(self.step_schedule())
+        return ops
+
+    # -- faithful two-array form ------------------------------------------------
+
+    def step_schedule_two_array(self) -> list:
+        """The real SP data flow over named arrays ``u`` (state) and
+        ``rhs``: compute_rhs reads ``u`` and *writes* ``rhs`` (a star
+        stencil through the shadow machinery), the pentadiagonal solves
+        sweep ``rhs`` in place, and ``add`` applies ``u += rhs``.
+
+        Run it with a dict input::
+
+            executor.run({"u": u0, "rhs": np.zeros_like(u0)}, sched)
+        """
+        ops: list = [
+            StencilOp(
+                fn=_stencil_rhs,
+                reach=((1, 1), (1, 1), (1, 1)),
+                flops_per_point=_RHS_FLOPS,
+                name="compute_rhs",
+                array="u",
+                out_array="rhs",
+            )
+        ]
+        for axis in range(3):
+            ops.extend(
+                dataclasses.replace(op, array="rhs")
+                for op in self.solve_ops(axis)
+            )
+        ops.append(
+            BinaryPointwiseOp(
+                fn=lambda u, rhs: u + 0.05 * rhs,
+                target="u",
+                source="rhs",
+                flops_per_point=_ADD_FLOPS,
+                name="add",
+            )
+        )
+        return ops
+
+    def schedule_two_array(self) -> list:
+        ops: list = []
+        for _ in range(self.steps):
+            ops.extend(self.step_schedule_two_array())
+        return ops
+
+    # -- reference execution --------------------------------------------------
+
+    def solve_sequential(self, field: np.ndarray) -> np.ndarray:
+        if field.shape != self.shape:
+            raise ValueError("field shape mismatch")
+        return run_sequential(field, self.schedule())
+
+    def pentadiagonal_residual(self, rhs: np.ndarray, axis: int) -> float:
+        """Numerical sanity check of the P = T @ T factorization: solve
+        ``P x = rhs`` by two Thomas passes, then verify
+        ``T (T x) == rhs``; returns the max-abs residual."""
+        y = thomas_solve(rhs, axis, self.a, self.b, self.a)
+        x = thomas_solve(y, axis, self.a, self.b, self.a)
+        tx = tridiagonal_matvec(x, axis, self.a, self.b, self.a)
+        ttx = tridiagonal_matvec(tx, axis, self.a, self.b, self.a)
+        return float(np.abs(ttx - rhs).max())
+
+
+def sp_class(cls: str, steps: int | None = None) -> SPProblem:
+    """SP proxy instance for a NAS class name ('S', 'W', 'A', 'B', 'C')."""
+    shape = CLASS_SHAPES[cls.upper()]
+    if steps is None:
+        steps = CLASS_STEPS[cls.upper()]
+    return SPProblem(shape=shape, steps=steps)
+
+
+def _stencil_rhs(padded: np.ndarray) -> np.ndarray:
+    """7-point star RHS: dissipation-flavoured second differences along
+    each axis, the communication structure of SP's real compute_rhs."""
+    core = tuple(slice(1, s - 1) for s in padded.shape)
+    out = 0.76 * padded[core]
+    for axis in range(3):
+        lo = list(core)
+        hi = list(core)
+        lo[axis] = slice(0, padded.shape[axis] - 2)
+        hi[axis] = slice(2, padded.shape[axis])
+        out += 0.04 * (padded[tuple(lo)] + padded[tuple(hi)])
+    return out
+
+
+def _compute_rhs(block: np.ndarray) -> np.ndarray:
+    """Proxy RHS: a cheap nonlinear mix standing in for SP's 13-point
+    stencil arithmetic (real flop weight is charged via flops_per_point)."""
+    return 0.95 * block + 0.05 * np.sin(block)
+
+
+def _add_update(block: np.ndarray) -> np.ndarray:
+    return block + 0.01 * block * block / (1.0 + block * block)

@@ -1,0 +1,57 @@
+"""Problem classes and synthetic input fields.
+
+NAS problem classes give the grid sizes (the paper's experiments use
+class B, 102**3); the *proxy* time-step counts are scaled far down from
+NAS's (400 for SP class B) because the simulator charges identical time per
+step — shapes of the results are step-count invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "CLASS_SHAPES",
+    "CLASS_STEPS",
+    "problem_shape",
+    "random_field",
+    "anisotropic_shape",
+]
+
+#: NAS-style class name -> 3-D grid shape
+CLASS_SHAPES: dict[str, tuple[int, int, int]] = {
+    "S": (12, 12, 12),
+    "W": (36, 36, 36),
+    "A": (64, 64, 64),
+    "B": (102, 102, 102),
+    "C": (162, 162, 162),
+}
+
+#: proxy time-step counts (scaled-down stand-ins for NAS's 100-400)
+CLASS_STEPS: dict[str, int] = {"S": 4, "W": 4, "A": 2, "B": 2, "C": 2}
+
+
+def problem_shape(cls: str) -> tuple[int, int, int]:
+    """Grid shape of a NAS-style class (raises KeyError on unknown class)."""
+    return CLASS_SHAPES[cls.upper()]
+
+
+def random_field(
+    shape: tuple[int, ...], seed: int = 2002
+) -> np.ndarray:
+    """Deterministic pseudo-random initial field (float64)."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(shape)
+
+
+def anisotropic_shape(
+    n: int, ratio: int = 4, flat_axis: int = 2
+) -> tuple[int, int, int]:
+    """A domain with one short dimension: ``n`` everywhere except
+    ``n // ratio`` on ``flat_axis`` — the Section-3.1 remark's scenario where
+    2-D partitionings beat 3-D ones."""
+    if n < ratio:
+        raise ValueError("n must be >= ratio")
+    shape = [n, n, n]
+    shape[flat_axis] = n // ratio
+    return tuple(shape)

@@ -1,0 +1,344 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+plan      Compute the optimal multipartitioning of an array shape.
+map       Print the tile-to-processor mapping, layer by layer.
+list      List all elementary partitionings for (p, d).
+table1    Regenerate the paper's Table 1 (NAS SP class-B speedups).
+figure1   Regenerate the paper's Figure 1 (3-D diagonal mapping, p=16).
+drop      Processor-dropping search: fastest p' <= p (Conclusions).
+count     Elementary-partitioning counts vs the Figure-2 complexity bound.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def _shape(text: str) -> tuple[int, ...]:
+    try:
+        shape = tuple(int(x) for x in text.replace("x", ",").split(","))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad shape {text!r}") from exc
+    if not shape or any(s < 1 for s in shape):
+        raise argparse.ArgumentTypeError(f"bad shape {text!r}")
+    return shape
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Generalized multipartitioning (IPDPS 2002) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="optimal multipartitioning of a shape")
+    plan.add_argument("--shape", type=_shape, required=True,
+                      help="array shape, e.g. 102,102,102 or 102x102x102")
+    plan.add_argument("-p", "--nprocs", type=int, required=True)
+    plan.add_argument(
+        "--objective", choices=["full", "phases", "volume"], default="full"
+    )
+
+    mp = sub.add_parser("map", help="print a tile-to-processor mapping")
+    mp.add_argument("--gammas", type=_shape, required=True,
+                    help="tile grid, e.g. 5,10,10")
+    mp.add_argument("-p", "--nprocs", type=int, required=True)
+
+    ls = sub.add_parser("list", help="elementary partitionings for (p, d)")
+    ls.add_argument("-p", "--nprocs", type=int, required=True)
+    ls.add_argument("-d", "--dims", type=int, default=3)
+
+    t1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    t1.add_argument("--class", dest="cls", default="B",
+                    choices=["S", "W", "A", "B", "C"])
+
+    sub.add_parser("figure1", help="regenerate the paper's Figure 1")
+
+    drop = sub.add_parser(
+        "drop", help="processor-dropping search (Conclusions)"
+    )
+    drop.add_argument("--shape", type=_shape, default=(102, 102, 102))
+    drop.add_argument("-p", "--nprocs", type=int, required=True)
+
+    count = sub.add_parser(
+        "count", help="enumeration counts vs the complexity bound"
+    )
+    count.add_argument("--limit", type=int, default=2400)
+    count.add_argument("-d", "--dims", type=int, default=3)
+
+    bt = sub.add_parser("bt", help="BT proxy scaling (block-tridiagonal)")
+    bt.add_argument("--class", dest="cls", default="B",
+                    choices=["S", "W", "A", "B", "C"])
+
+    loc = sub.add_parser(
+        "locality", help="mapping hop profiles on a topology"
+    )
+    loc.add_argument("--gammas", type=_shape, required=True)
+    loc.add_argument("-p", "--nprocs", type=int, required=True)
+    loc.add_argument(
+        "--topology", default="ring",
+        choices=["ring", "mesh2d", "hypercube", "full"],
+    )
+
+    sens = sub.add_parser(
+        "sensitivity", help="optimal tiling vs a machine constant"
+    )
+    sens.add_argument("--shape", type=_shape, required=True)
+    sens.add_argument("-p", "--nprocs", type=int, required=True)
+    sens.add_argument("--parameter", default="k2",
+                      choices=["k1", "k2", "k3"])
+    sens.add_argument("--values", type=str,
+                      default="0,1e-6,1e-5,1e-4,1e-3,1e-2")
+
+    sim = sub.add_parser(
+        "simulate",
+        help="run a small ADI workload on the simulator: timeline + "
+        "per-op breakdown + verification",
+    )
+    sim.add_argument("--shape", type=_shape, default=(16, 16, 16))
+    sim.add_argument("-p", "--nprocs", type=int, default=4)
+    sim.add_argument("--steps", type=int, default=1)
+    sim.add_argument("--width", type=int, default=64)
+
+    diag = sub.add_parser(
+        "diagnose", help="check an owner-table file (npy) for the "
+        "multipartitioning properties"
+    )
+    diag.add_argument("path", help=".npy file holding the owner table")
+    diag.add_argument("-p", "--nprocs", type=int, required=True)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    out = sys.stdout
+
+    if args.command == "plan":
+        from repro.core.api import plan_multipartitioning
+        from repro.core.cost import Objective
+
+        plan = plan_multipartitioning(
+            args.shape, args.nprocs, objective=Objective(args.objective)
+        )
+        print(plan.describe(), file=out)
+        print(f"moduli: {plan.mapping.moduli}", file=out)
+        print(f"matrix:\n{plan.mapping.matrix}", file=out)
+        return 0
+
+    if args.command == "map":
+        from repro.analysis.report import render_figure1
+        from repro.core.mapping import Multipartitioning
+        from repro.core.modmap import build_modular_mapping
+
+        mapping = build_modular_mapping(args.gammas, args.nprocs)
+        partitioning = Multipartitioning(
+            mapping.rank_grid(args.gammas), args.nprocs
+        )
+        if partitioning.ndim in (2, 3):
+            print(
+                render_figure1(
+                    partitioning, axis=min(2, partitioning.ndim - 1)
+                ),
+                file=out,
+            )
+        else:
+            print(partitioning.owner, file=out)
+        return 0
+
+    if args.command == "list":
+        from repro.core.elementary import elementary_partitionings_unordered
+
+        for gammas in elementary_partitionings_unordered(
+            args.nprocs, args.dims
+        ):
+            print("x".join(map(str, gammas)), file=out)
+        return 0
+
+    if args.command == "table1":
+        from repro.analysis.report import format_table1
+        from repro.analysis.speedup import sp_speedup_table
+        from repro.apps.sp import sp_class
+
+        prob = sp_class(args.cls, steps=1)
+        rows = sp_speedup_table(prob.shape, prob.schedule())
+        print(format_table1(rows), file=out)
+        return 0
+
+    if args.command == "figure1":
+        from repro.analysis.report import render_figure1
+        from repro.core.diagonal import diagonal_3d
+        from repro.core.mapping import Multipartitioning
+
+        print(
+            render_figure1(Multipartitioning(diagonal_3d(16), 16), axis=2),
+            file=out,
+        )
+        return 0
+
+    if args.command == "drop":
+        from repro.apps.sp import SPProblem
+        from repro.simmpi.machine import origin2000
+        from repro.sweep.modeled import best_processor_count_modeled
+
+        prob = SPProblem(shape=args.shape, steps=1)
+        p_used, t = best_processor_count_modeled(
+            args.shape, args.nprocs, origin2000(), prob.schedule()
+        )
+        print(
+            f"requested p={args.nprocs}: fastest configuration uses "
+            f"p'={p_used} (modeled step time {t:.4g} s)",
+            file=out,
+        )
+        return 0
+
+    if args.command == "count":
+        from repro.analysis.counting import bound_main_term, worst_case_counts
+        from repro.analysis.report import format_table
+
+        rows = [
+            [p, count, f"{bound:.1f}",
+             f"{bound_main_term(p, args.dims, slack=2.0):.1f}"]
+            for p, count, bound in worst_case_counts(args.limit, args.dims)
+        ]
+        print(
+            format_table(
+                ["p", "#elementary", "bound", "bound(slack=2)"], rows
+            ),
+            file=out,
+        )
+        return 0
+
+    if args.command == "bt":
+        from repro.analysis.report import format_table
+        from repro.apps.bt import bt_class, bt_plan
+        from repro.simmpi.machine import origin2000
+        from repro.sweep.modeled import multipart_time
+        from repro.sweep.sequential import sequential_time
+
+        machine = origin2000()
+        prob = bt_class(args.cls, steps=1)
+        sched = prob.schedule()
+        t1 = sequential_time(prob.field_shape, sched, machine)
+        rows = []
+        for p in (1, 4, 9, 16, 25, 36, 49, 64, 81):
+            plan = bt_plan(prob.shape, p, machine.to_cost_model())
+            t = multipart_time(
+                prob.field_shape, plan.partitioning, machine, sched
+            )
+            rows.append([p, plan.gammas[:3], t1 / t])
+        print(
+            format_table(
+                ["p", "tiling", "speedup"], rows,
+                title=f"BT proxy class {args.cls} (modeled)",
+            ),
+            file=out,
+        )
+        return 0
+
+    if args.command == "locality":
+        from repro.analysis.locality import (
+            best_mapping_for_topology,
+            hop_profile,
+        )
+        from repro.core.mapping import Multipartitioning
+        from repro.core.modmap import build_modular_mapping
+        from repro.simmpi.topology import topology_for
+
+        topo = topology_for(args.topology, args.nprocs)
+        default = Multipartitioning(
+            build_modular_mapping(args.gammas, args.nprocs).rank_grid(
+                args.gammas
+            ),
+            args.nprocs,
+        )
+        prof = hop_profile(default, topo)
+        print(
+            f"default construction on {topo.name}: mean "
+            f"{prof.mean_hops:.2f} hops, max {prof.max_hops}",
+            file=out,
+        )
+        _, best_prof = best_mapping_for_topology(
+            args.gammas, args.nprocs, topo
+        )
+        print(
+            f"best variant:                    mean "
+            f"{best_prof.mean_hops:.2f} hops, max {best_prof.max_hops}",
+            file=out,
+        )
+        return 0
+
+    if args.command == "sensitivity":
+        from repro.analysis.report import format_table
+        from repro.analysis.sensitivity import tiling_vs_parameter
+
+        values = [float(v) for v in args.values.split(",")]
+        points = tiling_vs_parameter(
+            args.shape, args.nprocs, args.parameter, values
+        )
+        print(
+            format_table(
+                [args.parameter, "optimal gammas", "cost"],
+                [[pt.value, pt.gammas, pt.cost] for pt in points],
+                title=f"Tiling sensitivity of {args.shape} on "
+                f"{args.nprocs} procs",
+            ),
+            file=out,
+        )
+        return 0
+
+    if args.command == "simulate":
+        import numpy as np
+
+        from repro.analysis.phases import format_breakdown, op_breakdown
+        from repro.apps.adi import ADIProblem
+        from repro.apps.workloads import random_field
+        from repro.core.api import plan_multipartitioning
+        from repro.simmpi.machine import origin2000
+        from repro.simmpi.traceio import ascii_timeline
+        from repro.sweep.multipart import MultipartExecutor
+        from repro.sweep.sequential import run_sequential
+
+        machine = origin2000()
+        prob = ADIProblem(shape=args.shape, steps=args.steps)
+        plan = plan_multipartitioning(
+            args.shape, args.nprocs, machine.to_cost_model()
+        )
+        field = random_field(args.shape)
+        result, run_res = MultipartExecutor(
+            plan.partitioning, args.shape, machine, record_events=True
+        ).run(field, prob.schedule())
+        err = float(
+            np.abs(result - run_sequential(field, prob.schedule())).max()
+        )
+        print(plan.describe(), file=out)
+        print(ascii_timeline(run_res, width=args.width), file=out)
+        print(format_breakdown(op_breakdown(run_res)), file=out)
+        print(
+            f"verified vs sequential: max error {err:.2e}; "
+            f"{run_res.message_count} messages, efficiency "
+            f"{run_res.efficiency():.2f}",
+            file=out,
+        )
+        return 0
+
+    if args.command == "diagnose":
+        import numpy as np
+
+        from repro.core.diagnose import diagnose_mapping
+
+        owner = np.load(args.path)
+        print(diagnose_mapping(owner, args.nprocs).explain(), file=out)
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Core algorithms of the paper: partitioning search (§3) and the
+constructive tile-to-processor modular mapping (§4)."""
+
+from .api import MultipartitionPlan, plan_multipartitioning
+from .cost import CostModel, NetworkScaling, Objective
+from .diagnose import MappingDiagnosis, diagnose_mapping
+from .lattice import (
+    hermite_normal_form,
+    is_one_to_one_on_box,
+    kernel_lattice,
+    smith_normal_form,
+)
+from .mapping import Multipartitioning
+from .modmap import ModularMapping, build_modular_mapping
+from .serialize import (
+    mapping_from_dict,
+    mapping_to_dict,
+    plan_from_json,
+    plan_to_json,
+)
+from .optimizer import (
+    PartitioningChoice,
+    ProcessorDropChoice,
+    best_processor_count,
+    optimal_partitioning,
+)
+
+__all__ = [
+    "MultipartitionPlan",
+    "plan_multipartitioning",
+    "CostModel",
+    "NetworkScaling",
+    "Objective",
+    "Multipartitioning",
+    "ModularMapping",
+    "hermite_normal_form",
+    "smith_normal_form",
+    "kernel_lattice",
+    "is_one_to_one_on_box",
+    "MappingDiagnosis",
+    "diagnose_mapping",
+    "build_modular_mapping",
+    "PartitioningChoice",
+    "ProcessorDropChoice",
+    "best_processor_count",
+    "optimal_partitioning",
+    "plan_to_json",
+    "plan_from_json",
+    "mapping_to_dict",
+    "mapping_from_dict",
+]

@@ -1,0 +1,91 @@
+"""Top-level planning API: from (array shape, processor count, machine) to a
+ready-to-run multipartitioning plan.
+
+This is the function a downstream user calls::
+
+    from repro.core.api import plan_multipartitioning
+    plan = plan_multipartitioning(shape=(102, 102, 102), nprocs=50)
+    plan.partitioning          # Multipartitioning (tiles -> ranks)
+    plan.choice.gammas         # (5, 10, 10) — the optimal tile counts
+    plan.mapping.matrix        # the modular-mapping matrix
+
+It mirrors what the dHPF compiler does when it encounters a
+``DISTRIBUTE (MULTI, MULTI, MULTI)`` directive: run the Section-3 optimizer
+to pick tile counts, then the Section-4 construction to assign tiles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from .cost import CostModel, Objective
+from .diagonal import diagonal_applicable
+from .mapping import Multipartitioning
+from .modmap import ModularMapping, build_modular_mapping
+from .optimizer import PartitioningChoice, optimal_partitioning
+
+__all__ = ["MultipartitionPlan", "plan_multipartitioning"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MultipartitionPlan:
+    """Everything needed to execute line sweeps on a multipartitioned array."""
+
+    shape: tuple[int, ...]
+    nprocs: int
+    choice: PartitioningChoice
+    mapping: ModularMapping
+    partitioning: Multipartitioning
+
+    @property
+    def gammas(self) -> tuple[int, ...]:
+        return self.choice.gammas
+
+    @property
+    def is_diagonal_case(self) -> bool:
+        """True when the chosen partitioning is compact — i.e. a classical
+        diagonal multipartitioning would exist (``p**(1/(d-1))`` integral and
+        the optimizer picked the compact shape)."""
+        return self.choice.is_compact() and diagonal_applicable(
+            self.nprocs, len(self.shape)
+        )
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary."""
+        g = "x".join(map(str, self.gammas))
+        return (
+            f"{len(self.shape)}-D array {tuple(self.shape)} on "
+            f"{self.nprocs} processors: tile grid {g} "
+            f"({self.partitioning.tiles_per_rank} tiles/rank), "
+            f"objective cost {self.choice.cost:.3e}, "
+            f"{self.choice.candidates_examined} candidates examined, "
+            f"{'compact/diagonal' if self.is_diagonal_case else 'generalized'}"
+            " multipartitioning"
+        )
+
+
+def plan_multipartitioning(
+    shape: Sequence[int],
+    nprocs: int,
+    model: CostModel | None = None,
+    objective: Objective = Objective.FULL,
+) -> MultipartitionPlan:
+    """Compute the optimal multipartitioning of an array of ``shape`` onto
+    ``nprocs`` processors under the Section-3.1 cost model, and construct the
+    balanced modular tile-to-processor mapping of Section 4 for it.
+    """
+    shape = tuple(int(s) for s in shape)
+    model = model or CostModel()
+    choice = optimal_partitioning(shape, nprocs, model, objective)
+    mapping = build_modular_mapping(choice.gammas, nprocs)
+    partitioning = Multipartitioning(
+        owner=mapping.rank_grid(choice.gammas), nprocs=nprocs
+    )
+    return MultipartitionPlan(
+        shape=shape,
+        nprocs=nprocs,
+        choice=choice,
+        mapping=mapping,
+        partitioning=partitioning,
+    )

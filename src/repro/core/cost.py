@@ -1,0 +1,129 @@
+"""Objective function for line sweeps over multipartitioned arrays (§3.1).
+
+A sweep along dimension ``i`` of an ``eta_1 x ... x eta_d`` array cut into
+``gamma_i`` slabs costs approximately::
+
+    T_i(p) = K1 * eta / p  +  (gamma_i - 1) * (K2 + K3(p) * eta / eta_i)
+
+* ``K1``    — sequential compute time per array element,
+* ``K2``    — per-communication-phase start-up (latency) cost,
+* ``K3(p)`` — per-element transfer cost of the communicated hyper-surface;
+  ``~ 1/p`` on a scalable network, constant on a bus (paper footnote 1).
+
+Writing ``lambda_i = K2 + K3(p) * eta / eta_i``, the full-sweep total over all
+``d`` dimensions is ``T(p) = d*K1*eta/p - sum(lambda_i) + sum(gamma_i *
+lambda_i)``; only ``sum(gamma_i * lambda_i)`` depends on the partitioning, so
+that is the quantity the optimizer minimizes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Sequence
+
+from .factorization import product
+
+__all__ = [
+    "NetworkScaling",
+    "CostModel",
+    "Objective",
+    "partition_cost",
+    "sweep_time",
+    "total_sweep_time",
+]
+
+
+class NetworkScaling(enum.Enum):
+    """How aggregate network bandwidth scales with processor count
+    (footnote 1 of the paper)."""
+
+    SCALABLE = "scalable"  # K3(p) = k3 / p   (bandwidth grows with p)
+    BUS = "bus"            # K3(p) = k3       (fixed shared bandwidth)
+
+
+@dataclasses.dataclass(frozen=True)
+class CostModel:
+    """Machine-level constants of the Section 3.1 objective.
+
+    ``k1``: seconds of compute per element; ``k2``: seconds per message phase
+    start-up; ``k3``: seconds per transferred element (at ``p == 1``
+    normalization for the scalable case).
+    """
+
+    k1: float = 1.0e-7
+    k2: float = 2.0e-5
+    k3: float = 4.0e-8
+    scaling: NetworkScaling = NetworkScaling.SCALABLE
+
+    def __post_init__(self) -> None:
+        if self.k1 < 0 or self.k2 < 0 or self.k3 < 0:
+            raise ValueError("cost constants must be non-negative")
+
+    def K3(self, p: int) -> float:
+        """Effective per-element transfer cost at ``p`` processors."""
+        if p < 1:
+            raise ValueError("p must be >= 1")
+        if self.scaling is NetworkScaling.SCALABLE:
+            return self.k3 / p
+        return self.k3
+
+    def lambdas(self, shape: Sequence[int], p: int) -> tuple[float, ...]:
+        """Per-dimension weights ``lambda_i = K2 + K3(p) * eta / eta_i``."""
+        _check_shape(shape)
+        eta = product(shape)
+        k3p = self.K3(p)
+        return tuple(self.k2 + k3p * eta / eta_i for eta_i in shape)
+
+
+class Objective(enum.Enum):
+    """Which form of the objective to minimize (Section 3.1 remark)."""
+
+    FULL = "full"        # sum(gamma_i * lambda_i)
+    PHASES = "phases"    # sum(gamma_i)           — start-up dominated
+    VOLUME = "volume"    # sum(gamma_i / eta_i)   — bandwidth dominated
+
+
+def partition_cost(
+    gammas: Sequence[int],
+    shape: Sequence[int],
+    p: int,
+    model: CostModel,
+    objective: Objective = Objective.FULL,
+) -> float:
+    """The partitioning-dependent term the optimizer minimizes."""
+    if len(gammas) != len(shape):
+        raise ValueError("gammas and shape must have the same length")
+    if objective is Objective.PHASES:
+        return float(sum(gammas))
+    if objective is Objective.VOLUME:
+        return sum(g / eta_i for g, eta_i in zip(gammas, shape))
+    lams = model.lambdas(shape, p)
+    return sum(g * lam for g, lam in zip(gammas, lams))
+
+
+def sweep_time(
+    gamma_i: int, shape: Sequence[int], axis: int, p: int, model: CostModel
+) -> float:
+    """``T_i(p)`` — modeled wall time of one full sweep along ``axis``."""
+    _check_shape(shape)
+    eta = product(shape)
+    lam = model.k2 + model.K3(p) * eta / shape[axis]
+    return model.k1 * eta / p + (gamma_i - 1) * lam
+
+
+def total_sweep_time(
+    gammas: Sequence[int], shape: Sequence[int], p: int, model: CostModel
+) -> float:
+    """``T(p)`` — modeled time of one sweep along *every* dimension."""
+    if len(gammas) != len(shape):
+        raise ValueError("gammas and shape must have the same length")
+    return sum(
+        sweep_time(g, shape, axis, p, model)
+        for axis, g in enumerate(gammas)
+    )
+
+
+def _check_shape(shape: Sequence[int]) -> None:
+    if len(shape) < 1 or any(s < 1 for s in shape):
+        raise ValueError(f"invalid array shape {tuple(shape)}")

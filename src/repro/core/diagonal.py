@@ -1,0 +1,111 @@
+"""Classical multipartitionings from the literature (Section 2).
+
+* Johnsson/Saad/Schultz 2-D latin square: ``theta(i, j) = (i - j) mod p``
+  on a ``p x p`` tile grid.
+* Naik/Naik/Nicoules 3-D diagonal multipartitioning for square ``p``:
+  ``theta(i, j, k) = ((i - k) mod sqrt(p)) * sqrt(p) + ((j - k) mod sqrt(p))``
+  on a ``sqrt(p)^3``... precisely a ``q x q x q`` grid with ``q = sqrt(p)``
+  (Figure 1 of the paper shows the ``p = 16`` instance).
+* The general d-dimensional *diagonal* multipartitioning: cut every
+  dimension into ``q`` slices where ``q^(d-1) = p`` (requires
+  ``p**(1/(d-1))`` integral), tiles arranged along wrapped diagonals.
+* Bruno–Cappello Gray-code mapping for hypercubes (``p = 2**(2n)`` on a
+  ``2**n`` cube grid).
+
+All return plain owner tables (int arrays); wrap them in
+:class:`repro.core.mapping.Multipartitioning` for runtime use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .factorization import integer_nth_root
+
+__all__ = [
+    "latin_square_2d",
+    "diagonal_3d",
+    "diagonal_nd",
+    "diagonal_applicable",
+    "gray_code_3d",
+]
+
+
+def latin_square_2d(p: int) -> np.ndarray:
+    """Johnsson et al.'s 2-D multipartitioning: ``p x p`` tiles,
+    ``theta(i, j) = (i - j) mod p``.  Works for every ``p >= 1``."""
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    i, j = np.indices((p, p))
+    return np.ascontiguousarray((i - j) % p, dtype=np.int64)
+
+
+def diagonal_3d(p: int) -> np.ndarray:
+    """Naik et al.'s 3-D diagonal multipartitioning for a perfect-square
+    ``p``: a ``q x q x q`` tile grid (``q = sqrt(p)``) with
+    ``theta(i, j, k) = ((i - k) mod q) * q + ((j - k) mod q)``.
+
+    This regenerates Figure 1 of the paper for ``p = 16``.
+    """
+    q = integer_nth_root(p, 2)
+    if q * q != p:
+        raise ValueError(
+            f"3-D diagonal multipartitioning needs square p, got {p}"
+        )
+    i, j, k = np.indices((q, q, q))
+    return np.ascontiguousarray(
+        ((i - k) % q) * q + ((j - k) % q), dtype=np.int64
+    )
+
+
+def diagonal_applicable(p: int, d: int) -> bool:
+    """True when a compact diagonal multipartitioning exists in dimension
+    ``d``: ``p**(1/(d-1))`` integral (Section 2)."""
+    if d < 2:
+        raise ValueError("need d >= 2")
+    root = integer_nth_root(p, d - 1)
+    return root ** (d - 1) == p
+
+
+def diagonal_nd(p: int, d: int) -> np.ndarray:
+    """General d-dimensional diagonal multipartitioning for
+    ``p = q**(d-1)``: a ``q x ... x q`` (d times) tile grid where tile
+    ``(i_1, ..., i_d)`` belongs to the processor with grid vector
+    ``((i_1 - i_d) mod q, ..., (i_{d-1} - i_d) mod q)``.
+
+    For ``d = 2`` this is :func:`latin_square_2d`; for ``d = 3`` it matches
+    :func:`diagonal_3d`.
+    """
+    if d < 2:
+        raise ValueError("need d >= 2")
+    q = integer_nth_root(p, d - 1)
+    if q ** (d - 1) != p:
+        raise ValueError(
+            f"diagonal multipartitioning in {d}-D needs p = q**{d-1}, got {p}"
+        )
+    coords = np.indices((q,) * d)
+    ranks = np.zeros((q,) * d, dtype=np.int64)
+    for axis in range(d - 1):
+        ranks = ranks * q + (coords[axis] - coords[d - 1]) % q
+    return np.ascontiguousarray(ranks)
+
+
+def gray_code_3d(n: int) -> np.ndarray:
+    """Bruno–Cappello hypercube mapping: a ``2**n`` cube of tiles on
+    ``p = 2**(2n)`` processors, ``theta`` built from Gray codes so that
+    tiles adjacent along i or j map to hypercube-adjacent processors.
+
+    Included as the historical baseline; it is a valid multipartitioning
+    (balance + neighbor) with the extra hypercube-locality property.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    q = 2**n
+
+    def gray(x: int) -> int:
+        return x ^ (x >> 1)
+
+    i, j, k = np.indices((q, q, q))
+    gi = np.vectorize(gray)((i - k) % q)
+    gj = np.vectorize(gray)((j - k) % q)
+    return np.ascontiguousarray(gi * q + gj, dtype=np.int64)

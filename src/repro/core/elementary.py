@@ -1,0 +1,112 @@
+"""Elementary partitionings: cross-factor combination (Section 3.2/3.3).
+
+An *elementary partitioning* of ``p`` into ``d`` bins is a tuple
+``(gamma_1, ..., gamma_d)`` obtained by choosing, for each prime factor of
+``p``, a Lemma-1 exponent distribution and multiplying through.  These are
+exactly the candidates the exhaustive optimal-partitioning search has to
+consider: every optimal partitioning is elementary, and elementary
+partitionings are those not a "multiple" (tile-wise paving) of a smaller one.
+
+Examples from the paper (Section 3.2), up to permutation:
+
+* ``p = 8,  d = 3`` -> ``4x4x2`` and ``8x8x1``
+* ``p = 30, d = 3`` -> ``10x15x6``, ``15x30x2``, ``10x30x3``, ``5x30x6``,
+  ``30x30x1``
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+from .factorization import prime_factorization, product
+from .partitions import factor_distributions, is_lemma1_distribution
+
+__all__ = [
+    "is_valid_partitioning",
+    "is_elementary_partitioning",
+    "elementary_partitionings",
+    "elementary_partitionings_unordered",
+    "count_elementary_partitionings",
+]
+
+
+def is_valid_partitioning(gammas: Sequence[int], p: int) -> bool:
+    """Paper's validity condition: for every ``i``, ``p`` divides
+    ``prod_{j != i} gamma_j`` (each slab holds a multiple of ``p`` tiles)."""
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    if len(gammas) < 1 or any(g < 1 for g in gammas):
+        return False
+    total = product(gammas)
+    return all((total // g) % p == 0 for g in gammas)
+
+
+def is_elementary_partitioning(gammas: Sequence[int], p: int) -> bool:
+    """True when ``gammas`` satisfies the Lemma-1 conditions for every prime
+    factor of ``p`` (hence is a candidate for optimality)."""
+    if not is_valid_partitioning(gammas, p):
+        return False
+    total = product(gammas)
+    # Every prime dividing any gamma must divide p, otherwise the
+    # partitioning is a strict multiple of a smaller one.
+    for prime, r in prime_factorization(total):
+        exps = tuple(_multiplicity(g, prime) for g in gammas)
+        p_mult = _multiplicity(p, prime)
+        if p_mult == 0:
+            return False
+        if not is_lemma1_distribution(exps, p_mult):
+            return False
+    return True
+
+
+def _multiplicity(n: int, prime: int) -> int:
+    count = 0
+    while n % prime == 0:
+        n //= prime
+        count += 1
+    return count
+
+
+def elementary_partitionings(p: int, d: int) -> Iterator[tuple[int, ...]]:
+    """Yield all elementary partitionings of ``p`` into ``d`` ordered bins.
+
+    Cartesian product of the per-factor Figure-2 distributions; the count is
+    the product of the per-factor counts, which the paper proves is
+    ``O((d(d-1)/2) ** ((1+o(1)) log p / log log p))``.
+
+    For ``p == 1`` the only partitioning is all-ones.
+    """
+    if d < 2:
+        raise ValueError("multipartitioning needs d >= 2 dimensions")
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    if p == 1:
+        yield (1,) * d
+        return
+    factors = prime_factorization(p)
+    per_factor = [list(factor_distributions(r, d)) for _, r in factors]
+    for combo in itertools.product(*per_factor):
+        gammas = [1] * d
+        for (prime, _), exps in zip(factors, combo):
+            for i, e in enumerate(exps):
+                gammas[i] *= prime**e
+        yield tuple(gammas)
+
+
+def elementary_partitionings_unordered(p: int, d: int) -> list[tuple[int, ...]]:
+    """Elementary partitionings up to permutation (sorted descending),
+    deduplicated — handy for matching the paper's listed examples."""
+    seen = {tuple(sorted(g, reverse=True)) for g in elementary_partitionings(p, d)}
+    return sorted(seen, reverse=True)
+
+
+def count_elementary_partitionings(p: int, d: int) -> int:
+    """Number of ordered elementary partitionings (product of the per-factor
+    distribution counts)."""
+    if p == 1:
+        return 1
+    count = 1
+    for _, r in prime_factorization(p):
+        count *= sum(1 for _ in factor_distributions(r, d))
+    return count

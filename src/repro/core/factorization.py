@@ -1,0 +1,105 @@
+"""Integer factorization and divisor utilities.
+
+The partitioning search of the paper (Section 3.3) starts from the prime
+factorization ``p = prod(alpha_j ** r_j)``.  Trial division in ``O(sqrt(p))``
+is more than sufficient for realistic processor counts (the paper targets
+``p <= 1000`` or so); the asymptotically fancier algorithms the paper alludes
+to would be noise here.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterator, Sequence
+
+__all__ = [
+    "prime_factorization",
+    "factor_multiset",
+    "is_prime",
+    "divisors",
+    "product",
+    "gcd_many",
+    "integer_nth_root",
+    "is_perfect_power",
+]
+
+
+def prime_factorization(n: int) -> list[tuple[int, int]]:
+    """Return ``[(alpha_1, r_1), ..., (alpha_s, r_s)]`` with primes ascending.
+
+    ``n`` must be a positive integer; ``prime_factorization(1) == []``.
+    """
+    if not isinstance(n, int):
+        raise TypeError(f"expected int, got {type(n).__name__}")
+    if n <= 0:
+        raise ValueError(f"expected positive integer, got {n}")
+    factors: list[tuple[int, int]] = []
+    remaining = n
+    candidate = 2
+    while candidate * candidate <= remaining:
+        if remaining % candidate == 0:
+            count = 0
+            while remaining % candidate == 0:
+                remaining //= candidate
+                count += 1
+            factors.append((candidate, count))
+        candidate += 1 if candidate == 2 else 2
+    if remaining > 1:
+        factors.append((remaining, 1))
+    return factors
+
+
+def factor_multiset(n: int) -> Counter:
+    """Prime factorization as a ``Counter`` mapping prime -> exponent."""
+    return Counter(dict(prime_factorization(n)))
+
+
+def is_prime(n: int) -> bool:
+    """Primality by trial division (adequate for processor counts)."""
+    if n < 2:
+        return False
+    return prime_factorization(n) == [(n, 1)]
+
+
+def divisors(n: int) -> list[int]:
+    """All positive divisors of ``n`` in ascending order."""
+    facs = prime_factorization(n)
+    result = [1]
+    for prime, exponent in facs:
+        result = [d * prime**e for d in result for e in range(exponent + 1)]
+    return sorted(result)
+
+
+def product(values: Sequence[int] | Iterator[int]) -> int:
+    """Integer product; empty product is 1 (paper's convention)."""
+    return math.prod(values)
+
+
+def gcd_many(*values: int) -> int:
+    """gcd of any number of integers; ``gcd_many()`` is 0."""
+    return math.gcd(*values)
+
+
+def integer_nth_root(n: int, k: int) -> int:
+    """Largest integer ``x`` with ``x**k <= n`` (exact, no float error)."""
+    if n < 0 or k <= 0:
+        raise ValueError("need n >= 0 and k >= 1")
+    if n in (0, 1) or k == 1:
+        return n
+    x = int(round(n ** (1.0 / k)))
+    # Correct float drift in both directions.
+    while x > 0 and x**k > n:
+        x -= 1
+    while (x + 1) ** k <= n:
+        x += 1
+    return x
+
+
+def is_perfect_power(n: int, k: int) -> bool:
+    """True when ``n == x**k`` for some integer ``x`` (used for the
+    diagonal-multipartitioning applicability test ``p**(1/(d-1))`` integral)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    root = integer_nth_root(n, k)
+    return root**k == n

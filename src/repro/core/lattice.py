@@ -1,0 +1,263 @@
+"""Integer-lattice machinery behind modular mappings (Section 4's theory).
+
+The paper's construction rests on properties of modular mappings
+``x -> (M x) mod m`` studied via integer matrices (its references: Lee &
+Fortes on injectivity, Darte–Dion–Robert on one-to-one characterizations,
+Hajós' theorem).  This module provides the exact integer tools:
+
+* :func:`hermite_normal_form` — column-style HNF with unimodular ``U``;
+* :func:`smith_normal_form` — diagonal SNF with unimodular ``U, V``;
+* :func:`kernel_lattice` — a basis of the lattice
+  ``L = {x : M x ≡ 0 (mod m)}``, the "collision lattice" of a modular
+  mapping;
+* :func:`is_one_to_one_on_box` — the classical criterion: the mapping is
+  injective on the box ``0 <= x < b`` iff ``L`` meets the open difference
+  box ``(-b, b)`` only at the origin.
+
+All arithmetic is exact (Python ints via object arrays where needed); the
+test-suite cross-checks every predicate against brute-force enumeration.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "hermite_normal_form",
+    "smith_normal_form",
+    "kernel_lattice",
+    "lattice_points_in_box",
+    "is_one_to_one_on_box",
+]
+
+
+def _as_int_matrix(A) -> np.ndarray:
+    M = np.array(A, dtype=object)
+    if M.ndim != 2:
+        raise ValueError("need a 2-D integer matrix")
+    for v in M.flat:
+        if not isinstance(v, (int, np.integer)):
+            raise ValueError("matrix entries must be integers")
+    return M.astype(object)
+
+
+def hermite_normal_form(A) -> tuple[np.ndarray, np.ndarray]:
+    """Column-style Hermite normal form: returns ``(H, U)`` with
+    ``H = A @ U``, ``U`` unimodular, ``H`` lower-triangular with
+    non-negative pivots and, in each pivot row, entries left of the pivot
+    reduced modulo it.
+
+    Exact integer arithmetic; suitable for the small (d <= 6) matrices of
+    partitioning work.
+    """
+    A = _as_int_matrix(A)
+    rows, cols = A.shape
+    H = A.copy()
+    U = np.eye(cols, dtype=object)
+
+    pivot_col = 0
+    for r in range(rows):
+        if pivot_col >= cols:
+            break
+        # gcd-reduce row r across columns pivot_col..cols-1
+        while True:
+            nonzero = [
+                j for j in range(pivot_col + 1, cols) if H[r, j] != 0
+            ]
+            if not nonzero:
+                break
+            # pick the column with smallest |entry| (incl. pivot col if 0)
+            candidates = [j for j in range(pivot_col, cols) if H[r, j] != 0]
+            jmin = min(candidates, key=lambda j: abs(H[r, j]))
+            if jmin != pivot_col:
+                H[:, [pivot_col, jmin]] = H[:, [jmin, pivot_col]]
+                U[:, [pivot_col, jmin]] = U[:, [jmin, pivot_col]]
+            piv = H[r, pivot_col]
+            for j in range(pivot_col + 1, cols):
+                if H[r, j] != 0:
+                    q = H[r, j] // piv
+                    H[:, j] -= q * H[:, pivot_col]
+                    U[:, j] -= q * U[:, pivot_col]
+        if H[r, pivot_col] == 0:
+            continue  # row has no pivot; move to next row, same column
+        if H[r, pivot_col] < 0:
+            H[:, pivot_col] = -H[:, pivot_col]
+            U[:, pivot_col] = -U[:, pivot_col]
+        piv = H[r, pivot_col]
+        # reduce earlier columns of this row modulo the pivot
+        for j in range(pivot_col):
+            if H[r, j] != 0:
+                q = H[r, j] // piv
+                H[:, j] -= q * H[:, pivot_col]
+                U[:, j] -= q * U[:, pivot_col]
+        pivot_col += 1
+    return H, U
+
+
+def smith_normal_form(A) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Smith normal form: ``(S, U, V)`` with ``S = U @ A @ V`` diagonal,
+    ``U, V`` unimodular, and each diagonal entry dividing the next."""
+    A = _as_int_matrix(A)
+    rows, cols = A.shape
+    S = A.copy()
+    U = np.eye(rows, dtype=object)
+    V = np.eye(cols, dtype=object)
+
+    def smallest_nonzero(t):
+        best = None
+        for i in range(t, rows):
+            for j in range(t, cols):
+                if S[i, j] != 0 and (
+                    best is None or abs(S[i, j]) < abs(S[best[0], best[1]])
+                ):
+                    best = (i, j)
+        return best
+
+    t = 0
+    while t < min(rows, cols):
+        pos = smallest_nonzero(t)
+        if pos is None:
+            break
+        i, j = pos
+        if i != t:
+            S[[t, i], :] = S[[i, t], :]
+            U[[t, i], :] = U[[i, t], :]
+        if j != t:
+            S[:, [t, j]] = S[:, [j, t]]
+            V[:, [t, j]] = V[:, [j, t]]
+        done = True
+        for i in range(t + 1, rows):
+            if S[i, t] != 0:
+                q = S[i, t] // S[t, t]
+                S[i, :] -= q * S[t, :]
+                U[i, :] -= q * U[t, :]
+                if S[i, t] != 0:
+                    done = False
+        for j in range(t + 1, cols):
+            if S[t, j] != 0:
+                q = S[t, j] // S[t, t]
+                S[:, j] -= q * S[:, t]
+                V[:, j] -= q * V[:, t]
+                if S[t, j] != 0:
+                    done = False
+        if not done:
+            continue
+        # divisibility: S[t,t] must divide everything below-right
+        viol = None
+        for i in range(t + 1, rows):
+            for j in range(t + 1, cols):
+                if S[i, j] % S[t, t] != 0:
+                    viol = (i, j)
+                    break
+            if viol:
+                break
+        if viol:
+            S[t, :] += S[viol[0], :]
+            U[t, :] += U[viol[0], :]
+            continue
+        if S[t, t] < 0:
+            S[t, :] = -S[t, :]
+            U[t, :] = -U[t, :]
+        t += 1
+    return S, U, V
+
+
+def kernel_lattice(M, m: Sequence[int]) -> np.ndarray:
+    """Basis (columns) of ``L = {x in Z^d : M x ≡ 0 (mod m)}`` — the
+    collision lattice of the modular mapping ``(M, m)``.
+
+    Computed from the HNF of ``[M | diag(m)]``: integer vectors ``(x, y)``
+    with ``M x + diag(m) y = 0`` projected onto ``x``.  ``L`` always has
+    full rank ``d`` (it contains ``prod(m) * Z^d``).
+    """
+    M = _as_int_matrix(M)
+    dprime, d = M.shape
+    if len(m) != dprime:
+        raise ValueError("modulus vector length must match M's rows")
+    if any(int(v) < 1 for v in m):
+        raise ValueError("moduli must be positive")
+    # solutions of [M diag(m)] z = 0: kernel via HNF of the stacked matrix
+    stacked = np.zeros((dprime, d + dprime), dtype=object)
+    stacked[:, :d] = M
+    for i, v in enumerate(m):
+        stacked[i, d + i] = int(v)
+    H, U = hermite_normal_form(stacked)
+    # kernel columns of `stacked` = columns of U where H's column is zero
+    kernel_cols = [
+        j for j in range(d + dprime) if all(H[i, j] == 0 for i in range(dprime))
+    ]
+    basis = U[:d, kernel_cols]  # project to the x block
+    # reduce to a d-column basis via HNF of the projection
+    Hb, _ = hermite_normal_form(basis)
+    cols = [
+        j
+        for j in range(Hb.shape[1])
+        if any(Hb[i, j] != 0 for i in range(d))
+    ]
+    result = Hb[:, cols]
+    if result.shape[1] != d:
+        raise AssertionError("collision lattice must have full rank")
+    return result
+
+
+def lattice_points_in_box(
+    basis: np.ndarray, bounds: Sequence[int], limit: int = 1_000_000
+) -> list[tuple[int, ...]]:
+    """All lattice points ``v`` (integer combinations of the basis columns)
+    with ``|v_i| < bounds_i`` — found by exhaustive search over coefficient
+    ranges derived from the lattice's fundamental parallelepiped.
+
+    Exact but exponential in ``d``; intended for the small dimensionalities
+    of multipartitioning (d <= 5).
+    """
+    basis = _as_int_matrix(basis)
+    d = basis.shape[0]
+    if basis.shape[1] != d:
+        raise ValueError("need a full-rank square basis")
+    bounds = [int(b) for b in bounds]
+    # Triangularize for bounded enumeration: HNF is LOWER triangular, so
+    # row i of H involves coefficients t_j only for j <= i; enumerating
+    # t_0, t_1, ... in order makes each row's bound exact.
+    H, _ = hermite_normal_form(basis)
+    points: list[tuple[int, ...]] = []
+
+    def rec(i: int, partial: list[int]):
+        if len(points) > limit:
+            raise RuntimeError("enumeration limit exceeded")
+        if i == d:
+            v = tuple(
+                int(sum(H[r, j] * partial[j] for j in range(d)))
+                for r in range(d)
+            )
+            if all(abs(v[r]) < bounds[r] for r in range(d)):
+                points.append(v)
+            return
+        # v_i = known + H[i, i] * t_i with known from already-chosen t_j
+        known = sum(H[i, j] * partial[j] for j in range(i))
+        piv = H[i, i]
+        if piv == 0:
+            raise AssertionError("basis not full rank")
+        lo = math.ceil((-bounds[i] + 1 - known) / piv)
+        hi = math.floor((bounds[i] - 1 - known) / piv)
+        if piv < 0:
+            lo, hi = hi, lo
+        for t in range(min(lo, hi), max(lo, hi) + 1):
+            new = partial.copy()
+            new[i] = t
+            rec(i + 1, new)
+
+    rec(0, [0] * d)
+    return points
+
+
+def is_one_to_one_on_box(M, m: Sequence[int], b: Sequence[int]) -> bool:
+    """Algebraic injectivity test (Lee–Fortes / Darte–Dion–Robert style):
+    the modular mapping ``x -> (M x) mod m`` is one-to-one on the box
+    ``0 <= x < b`` iff its collision lattice meets the open difference box
+    ``(-b, b)`` only at the origin."""
+    basis = kernel_lattice(M, m)
+    pts = lattice_points_in_box(basis, b)
+    return pts == [(0,) * len(b)] or pts == [tuple([0] * len(b))]

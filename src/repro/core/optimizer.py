@@ -1,0 +1,187 @@
+"""Optimal-partitioning search (Section 3.3) and extensions.
+
+``optimal_partitioning`` runs the paper's optimized exhaustive search: it
+enumerates the elementary partitionings (cartesian product of per-prime
+Figure-2 distributions) and keeps the candidate minimizing the Section-3.1
+objective.  The search is exponential in the number of distinct prime factors
+and their multiplicities but, as the paper shows, grows slowly in ``p``
+itself, so it is instantaneous for realistic processor counts.
+
+Extensions implemented from the paper's Conclusions:
+
+* ``greedy_prime_power`` — the polynomial greedy scheme for ``p = alpha**r``
+  mentioned in Section 3.1 (one prime factor), under the phase-count
+  objective.
+* ``best_processor_count`` — when the optimal partitioning for ``p`` is not
+  compact, dropping back to a nearby ``p' < p`` with a compact partitioning
+  can be faster (the paper's 49-vs-50 observation); this searches ``p' <= p``
+  under the full compute+communication model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from .cost import CostModel, Objective, partition_cost, total_sweep_time
+from .elementary import elementary_partitionings, is_valid_partitioning
+from .factorization import prime_factorization, product
+
+__all__ = [
+    "PartitioningChoice",
+    "optimal_partitioning",
+    "greedy_prime_power",
+    "ProcessorDropChoice",
+    "best_processor_count",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitioningChoice:
+    """Result of the search: tile counts per dimension plus its cost."""
+
+    gammas: tuple[int, ...]
+    p: int
+    cost: float
+    candidates_examined: int
+
+    @property
+    def tiles_total(self) -> int:
+        return product(self.gammas)
+
+    @property
+    def tiles_per_processor(self) -> int:
+        return self.tiles_total // self.p
+
+    def is_compact(self, d: int | None = None) -> bool:
+        """A diagonal-equivalent partitioning: ``p**(d/(d-1))`` tiles total,
+        i.e. one tile per processor per slab in every partitioned dimension.
+
+        Dimensions with ``gamma_i == 1`` (unpartitioned) are excluded from
+        the effective dimensionality.
+        """
+        effective = [g for g in self.gammas if g > 1]
+        if not effective:
+            return self.p == 1
+        dd = len(effective)
+        if dd == 1:
+            return effective[0] == self.p
+        return all(g ** (dd - 1) == self.p for g in effective)
+
+
+def optimal_partitioning(
+    shape: Sequence[int],
+    p: int,
+    model: CostModel | None = None,
+    objective: Objective = Objective.FULL,
+) -> PartitioningChoice:
+    """Exhaustive search over elementary partitionings for the minimizer of
+    ``sum(gamma_i * lambda_i)`` (or a simplified objective).
+
+    Ties are broken toward the lexicographically-largest reversed tuple so
+    larger dimensions get cut more — a deterministic, shape-aware rule.
+    """
+    shape = tuple(int(s) for s in shape)
+    if any(s < 1 for s in shape):
+        raise ValueError(f"invalid array shape {shape}")
+    d = len(shape)
+    if d < 2:
+        raise ValueError("multipartitioning needs d >= 2 dimensions")
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    model = model or CostModel()
+
+    best: tuple[float, tuple[int, ...]] | None = None
+    examined = 0
+    for gammas in elementary_partitionings(p, d):
+        examined += 1
+        cost = partition_cost(gammas, shape, p, model, objective)
+        key = (cost, gammas)
+        if best is None or key < best:
+            best = key
+    assert best is not None  # p >= 1 always yields at least one candidate
+    return PartitioningChoice(
+        gammas=best[1], p=p, cost=best[0], candidates_examined=examined
+    )
+
+
+def greedy_prime_power(p: int, d: int) -> tuple[int, ...]:
+    """Greedy distribution for ``p = alpha**r`` (single prime factor) under
+    the phase-count objective ``sum(gamma_i)``.
+
+    Splits the ``r + m`` exponent budget as evenly as possible with the max
+    multiplicity ``m = ceil(r/(d-1))`` attained by at least two bins, which
+    is optimal for one prime: any valid distribution has ``sum(e) >= r + max``
+    and ``sum(alpha**e)`` is minimized by flattening exponents.
+    """
+    factors = prime_factorization(p)
+    if len(factors) != 1:
+        raise ValueError(f"{p} is not a prime power")
+    alpha, r = factors[0]
+    if d < 2:
+        raise ValueError("need d >= 2")
+    m = -(-r // (d - 1))
+    total = r + m
+    # Evenly spread `total` with cap m: q bins of m, remainder in one bin.
+    exps = []
+    remaining = total
+    for _ in range(d):
+        e = min(m, remaining)
+        exps.append(e)
+        remaining -= e
+    if remaining != 0:
+        raise AssertionError("exponent budget not exhausted")
+    gammas = tuple(alpha**e for e in exps)
+    if not is_valid_partitioning(gammas, p):
+        raise AssertionError("greedy result must be valid")
+    return gammas
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessorDropChoice:
+    """Outcome of the best-active-processor-count search."""
+
+    p_requested: int
+    p_used: int
+    choice: PartitioningChoice
+    total_time: float
+
+
+def best_processor_count(
+    shape: Sequence[int],
+    p: int,
+    model: CostModel | None = None,
+    p_min: int | None = None,
+) -> ProcessorDropChoice:
+    """Search ``p' in [p_min, p]`` for the fastest modeled full-sweep time
+    ``T(p')`` using each ``p'``'s optimal partitioning (Conclusions).
+
+    Default ``p_min`` is the paper's lower bound
+    ``floor(p ** (1/(d-1))) ** (d-1)`` — the largest processor count at or
+    below ``p`` guaranteed to admit a diagonal (compact) multipartitioning.
+    """
+    shape = tuple(int(s) for s in shape)
+    d = len(shape)
+    model = model or CostModel()
+    if p_min is None:
+        root = int(p ** (1.0 / (d - 1)))
+        while (root + 1) ** (d - 1) <= p:
+            root += 1
+        while root > 1 and root ** (d - 1) > p:
+            root -= 1
+        p_min = max(1, root ** (d - 1))
+    if not 1 <= p_min <= p:
+        raise ValueError("need 1 <= p_min <= p")
+
+    best: ProcessorDropChoice | None = None
+    for p_try in range(p_min, p + 1):
+        choice = optimal_partitioning(shape, p_try, model)
+        t = total_sweep_time(choice.gammas, shape, p_try, model)
+        if best is None or t < best.total_time - 1e-15 or (
+            abs(t - best.total_time) <= 1e-15 and p_try > best.p_used
+        ):
+            best = ProcessorDropChoice(
+                p_requested=p, p_used=p_try, choice=choice, total_time=t
+            )
+    assert best is not None
+    return best

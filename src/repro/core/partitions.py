@@ -1,0 +1,101 @@
+"""Per-factor distribution generator (Figure 2 of the paper).
+
+For one prime factor ``alpha`` appearing ``r`` times in ``p``, Lemma 1 shows
+that in an *optimal* partitioning the factor appears exactly ``r + m`` times
+across the ``d`` bins (the ``gamma_i``), where ``m`` is the maximum number of
+occurrences in any single bin, and that maximum is attained by **at least two
+bins**.  The paper's Figure 2 gives a recursive C program generating exactly
+those distributions; this module is a faithful Python translation plus an
+iterator-style API.
+
+A *distribution* here is a tuple ``(e_1, ..., e_d)`` of exponents, one per
+bin, with ``sum(e) == r + max(e)`` and ``max(e)`` attained at least twice.
+The validity condition of the paper (``p`` divides ``prod_{j != i} gamma_j``
+for every ``i``) is, per prime, ``sum(e) - e_i >= r`` for every ``i``, i.e.
+``sum(e) - max(e) >= r``; the Lemma-1 distributions are the minimal ones.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = [
+    "factor_distributions",
+    "count_factor_distributions",
+    "is_lemma1_distribution",
+    "min_max_multiplicity",
+]
+
+
+def min_max_multiplicity(r: int, d: int) -> int:
+    """Smallest feasible max-multiplicity ``m = ceil(r / (d - 1))``.
+
+    With total ``r + m`` and every bin at most ``m``, we need
+    ``r + m <= d * m``, hence ``m >= r / (d - 1)``.
+    """
+    if d < 2:
+        raise ValueError("need at least 2 bins (d >= 2)")
+    if r < 1:
+        raise ValueError("factor multiplicity r must be >= 1")
+    return -(-r // (d - 1))  # ceil division
+
+
+def factor_distributions(r: int, d: int) -> Iterator[tuple[int, ...]]:
+    """Yield every Lemma-1 distribution of one factor of multiplicity ``r``
+    into ``d`` ordered bins.
+
+    Mirrors ``Partitions(r, d)`` from Figure 2: for each candidate maximum
+    multiplicity ``m`` from ``ceil(r/(d-1))`` to ``r``, generate all ways of
+    placing ``r + m`` occurrences such that no bin exceeds ``m`` and at least
+    two bins reach ``m``.  Bins are ordered (all permutations are produced),
+    which is what the optimizer needs since the per-dimension weights
+    ``lambda_i`` differ.
+    """
+    if d < 2:
+        raise ValueError("need at least 2 bins (d >= 2)")
+    if r < 1:
+        raise ValueError("factor multiplicity r must be >= 1")
+    bins = [0] * d
+    for m in range(min_max_multiplicity(r, d), r + 1):
+        yield from _place(bins, n=r + m, m=m, c=2, t=0, d=d)
+
+
+def _place(
+    bins: list[int], n: int, m: int, c: int, t: int, d: int
+) -> Iterator[tuple[int, ...]]:
+    """Recursive worker ``P(n, m, c, t, d)`` of Figure 2 (0-based ``t``).
+
+    Distributes ``n`` occurrences into bins ``t .. d-1`` with per-bin cap
+    ``m`` and at least ``c`` bins hitting the cap exactly.
+    """
+    if t == d - 1:
+        bins[t] = n
+        yield tuple(bins)
+        return
+    # Fewer than m occurrences in bin t: the cap-count obligation c stays.
+    low = max(0, n - (d - 1 - t) * m)
+    high = min(m - 1, n - c * m)
+    for i in range(low, high + 1):
+        bins[t] = i
+        yield from _place(bins, n - i, m, c, t + 1, d)
+    # Exactly m occurrences in bin t: one cap obligation satisfied.
+    if n >= m:
+        bins[t] = m
+        yield from _place(bins, n - m, m, max(0, c - 1), t + 1, d)
+
+
+def is_lemma1_distribution(exponents: tuple[int, ...], r: int) -> bool:
+    """Check the Lemma-1 conditions for one factor's exponent tuple."""
+    if len(exponents) < 2 or any(e < 0 for e in exponents):
+        return False
+    peak = max(exponents)
+    return (
+        sum(exponents) == r + peak
+        and sum(1 for e in exponents if e == peak) >= 2
+    )
+
+
+def count_factor_distributions(r: int, d: int) -> int:
+    """Number of Lemma-1 distributions (used in the Figure-2 complexity
+    study; the paper bounds the cross-factor product of these counts)."""
+    return sum(1 for _ in factor_distributions(r, d))

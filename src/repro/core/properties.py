@@ -1,0 +1,131 @@
+"""Brute-force verifiers for the structural properties of multipartitionings.
+
+These are deliberately written as straightforward (vectorized) enumerations so
+they can serve as an independent oracle for the constructive algorithms of
+:mod:`repro.core.modmap` — the test-suite checks the paper's construction
+against these on hundreds of cases.
+
+Definitions (Section 4 of the paper):
+
+* **one-to-one** — every processor-grid point has exactly one pre-image;
+* **equally-many-to-one** — every processor-grid point has the same number of
+  pre-images;
+* **load-balancing / balance** — restricted to any axis-aligned *slice*
+  (all tiles with fixed coordinate ``k`` along some axis ``i``), the mapping
+  is equally-many-to-one;
+* **neighbor** — for every processor ``q`` and signed direction, the owners
+  of the neighbors of ``q``'s tiles form a single processor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+__all__ = [
+    "image_counts",
+    "is_one_to_one",
+    "is_equally_many_to_one",
+    "has_balance_property",
+    "has_neighbor_property",
+    "neighbor_table",
+    "slab_counts",
+]
+
+
+def image_counts(rank_grid: np.ndarray, nprocs: int) -> np.ndarray:
+    """Histogram of tile owners: ``counts[q]`` = number of tiles of rank q."""
+    grid = np.asarray(rank_grid)
+    if grid.size and (grid.min() < 0 or grid.max() >= nprocs):
+        raise ValueError("rank grid contains out-of-range ranks")
+    return np.bincount(grid.ravel(), minlength=nprocs)
+
+
+def is_one_to_one(rank_grid: np.ndarray, nprocs: int) -> bool:
+    """Every rank owns exactly one tile."""
+    grid = np.asarray(rank_grid)
+    return grid.size == nprocs and bool(
+        (image_counts(grid, nprocs) == 1).all()
+    )
+
+
+def is_equally_many_to_one(rank_grid: np.ndarray, nprocs: int) -> bool:
+    """Every rank owns the same (positive) number of tiles."""
+    grid = np.asarray(rank_grid)
+    if grid.size == 0 or grid.size % nprocs != 0:
+        return False
+    counts = image_counts(grid, nprocs)
+    return bool((counts == grid.size // nprocs).all())
+
+
+def has_balance_property(rank_grid: np.ndarray, nprocs: int) -> bool:
+    """Paper's balance property: every slice along every axis is
+    equally-many-to-one (each slab gives every processor the same number of
+    tiles, so every sweep phase is perfectly load-balanced)."""
+    grid = np.asarray(rank_grid)
+    for axis in range(grid.ndim):
+        for k in range(grid.shape[axis]):
+            slice_grid = np.take(grid, k, axis=axis)
+            if not is_equally_many_to_one(slice_grid, nprocs):
+                return False
+    return True
+
+
+def slab_counts(rank_grid: np.ndarray, nprocs: int, axis: int) -> np.ndarray:
+    """Per-slab ownership histogram: shape ``(gamma_axis, nprocs)``; row k is
+    the tile count per rank within slab k along ``axis``."""
+    grid = np.asarray(rank_grid)
+    out = np.empty((grid.shape[axis], nprocs), dtype=np.int64)
+    for k in range(grid.shape[axis]):
+        out[k] = image_counts(np.take(grid, k, axis=axis), nprocs)
+    return out
+
+
+def neighbor_table(
+    rank_grid: np.ndarray, periodic: bool = False
+) -> dict[tuple[int, int], np.ndarray] | None:
+    """If the neighbor property holds, return the rank->rank successor table
+    per signed direction; otherwise ``None``.
+
+    Keys are ``(axis, step)`` with ``step in (+1, -1)``; values are int
+    arrays ``succ`` with ``succ[q]`` = the unique owner of the ``step``
+    neighbors (along ``axis``) of ``q``'s tiles, or ``-1`` when ``q`` owns no
+    tile with such a neighbor (only possible when ``periodic=False``).
+
+    The paper's neighbor property concerns *immediate* (interior) tile
+    adjacency, so ``periodic=False`` is the default.  A modular mapping
+    additionally satisfies the periodic version exactly when
+    ``b_axis * M[:, axis] == 0 (mod m)`` — true for diagonal
+    multipartitionings, not for general ones.
+    """
+    grid = np.asarray(rank_grid)
+    nprocs = int(grid.max()) + 1 if grid.size else 0
+    table: dict[tuple[int, int], np.ndarray] = {}
+    for axis in range(grid.ndim):
+        for step in (+1, -1):
+            succ = np.full(nprocs, -1, dtype=np.int64)
+            shifted = np.roll(grid, -step, axis=axis)
+            if periodic:
+                pairs = zip(grid.ravel(), shifted.ravel())
+            else:
+                sel = [slice(None)] * grid.ndim
+                sel[axis] = slice(0, -1) if step == 1 else slice(1, None)
+                sel = tuple(sel)
+                pairs = zip(grid[sel].ravel(), shifted[sel].ravel())
+            ok = True
+            for owner, nbr in pairs:
+                if succ[owner] == -1:
+                    succ[owner] = nbr
+                elif succ[owner] != nbr:
+                    ok = False
+                    break
+            if not ok:
+                return None
+            table[(axis, step)] = succ
+    return table
+
+
+def has_neighbor_property(rank_grid: np.ndarray, periodic: bool = False) -> bool:
+    """True when, in every signed coordinate direction, all neighbors of any
+    one processor's tiles belong to a single processor."""
+    return neighbor_table(rank_grid, periodic=periodic) is not None

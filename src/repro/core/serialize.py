@@ -1,0 +1,88 @@
+"""JSON (de)serialization of plans and mappings.
+
+A computed multipartitioning is a deployment artifact: the runtime library
+on every node needs the same tile->rank assignment.  These helpers encode
+plans compactly (matrix + moduli + gammas — the owner grid is recomputed,
+not shipped) and validate on load.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from .api import MultipartitionPlan
+from .mapping import Multipartitioning
+from .modmap import ModularMapping
+from .optimizer import PartitioningChoice
+
+__all__ = [
+    "mapping_to_dict",
+    "mapping_from_dict",
+    "plan_to_json",
+    "plan_from_json",
+]
+
+_FORMAT = "repro.multipartition-plan.v1"
+
+
+def mapping_to_dict(mapping: ModularMapping) -> dict:
+    """Compact encoding of a modular mapping."""
+    return {
+        "matrix": [[int(v) for v in row] for row in mapping.matrix],
+        "moduli": [int(m) for m in mapping.moduli],
+    }
+
+
+def mapping_from_dict(data: dict) -> ModularMapping:
+    return ModularMapping(
+        matrix=np.array(data["matrix"], dtype=np.int64),
+        moduli=tuple(int(m) for m in data["moduli"]),
+    )
+
+
+def plan_to_json(plan: MultipartitionPlan) -> str:
+    """Serialize a plan; the owner grid is derived data and not stored."""
+    doc: dict[str, Any] = {
+        "format": _FORMAT,
+        "shape": list(plan.shape),
+        "nprocs": plan.nprocs,
+        "gammas": list(plan.gammas),
+        "cost": plan.choice.cost,
+        "candidates_examined": plan.choice.candidates_examined,
+        "mapping": mapping_to_dict(plan.mapping),
+    }
+    return json.dumps(doc)
+
+
+def plan_from_json(text: str) -> MultipartitionPlan:
+    """Reconstruct a plan, revalidating the mapping's balance/neighbor
+    properties (corrupt or hand-edited documents are rejected)."""
+    doc = json.loads(text)
+    if doc.get("format") != _FORMAT:
+        raise ValueError(
+            f"unrecognized plan format {doc.get('format')!r}"
+        )
+    gammas = tuple(int(g) for g in doc["gammas"])
+    nprocs = int(doc["nprocs"])
+    mapping = mapping_from_dict(doc["mapping"])
+    if mapping.nprocs != nprocs:
+        raise ValueError("mapping moduli do not multiply to nprocs")
+    partitioning = Multipartitioning(
+        owner=mapping.rank_grid(gammas), nprocs=nprocs
+    )
+    choice = PartitioningChoice(
+        gammas=gammas,
+        p=nprocs,
+        cost=float(doc["cost"]),
+        candidates_examined=int(doc["candidates_examined"]),
+    )
+    return MultipartitionPlan(
+        shape=tuple(int(s) for s in doc["shape"]),
+        nprocs=nprocs,
+        choice=choice,
+        mapping=mapping,
+        partitioning=partitioning,
+    )

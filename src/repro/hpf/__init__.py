@@ -1,0 +1,69 @@
+"""dHPF-lite: the compiler-integration layer of Section 5.
+
+Declares HPF-style directives (``TEMPLATE``/``DISTRIBUTE (MULTI,...)``/
+``ALIGN``/``SHADOW``), resolves them into concrete distributions via the
+core optimizer and modular mapping, statically plans vectorized +
+aggregated sweep communication, and lowers small data-parallel programs
+onto the simulator executors.
+"""
+
+from .commsched import (
+    PlannedMessage,
+    StencilCommPlan,
+    SweepCommPlan,
+    plan_stencil_comm,
+    plan_sweep_comm,
+)
+from .directives import (
+    Align,
+    Distribute,
+    DistFormat,
+    Processors,
+    Shadow,
+    Template,
+)
+from .distribution import (
+    ResolvedBlock,
+    ResolvedMulti,
+    block_process_grid,
+    resolve_distribution,
+)
+from .program import (
+    BlockSweepStmt,
+    CompiledProgram,
+    HpfProgram,
+    PointwiseStmt,
+    StencilStmt,
+    SweepStmt,
+    compile_program,
+)
+from .shadow import CommDecision, ShadowRegion, StencilSpec, decide_stencil_comm
+
+__all__ = [
+    "PlannedMessage",
+    "StencilCommPlan",
+    "SweepCommPlan",
+    "plan_stencil_comm",
+    "plan_sweep_comm",
+    "Align",
+    "Distribute",
+    "DistFormat",
+    "Processors",
+    "Shadow",
+    "Template",
+    "ResolvedBlock",
+    "ResolvedMulti",
+    "block_process_grid",
+    "resolve_distribution",
+    "CompiledProgram",
+    "HpfProgram",
+    "BlockSweepStmt",
+    "PointwiseStmt",
+    "StencilStmt",
+    "SweepStmt",
+    "compile_program",
+    "CommDecision",
+    "ShadowRegion",
+    "StencilSpec",
+    "decide_stencil_comm",
+]

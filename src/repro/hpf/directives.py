@@ -1,0 +1,117 @@
+"""HPF-style directive descriptors (the dHPF front end, Section 5).
+
+A tiny declarative layer mirroring the directives the paper's compiler
+consumes::
+
+    TEMPLATE t(102, 102, 102)
+    DISTRIBUTE t(MULTI, MULTI, MULTI)        ! generalized multipartitioning
+    DISTRIBUTE t(BLOCK, *, *)                ! classic block partitioning
+    ALIGN a WITH t
+    SHADOW a(1, 1, 1)
+
+As in dHPF, when MULTI appears the PROCESSORS directive cannot assign
+processor counts per dimension — every hyperplane is distributed over *all*
+processors — so :class:`Processors` carries only the total count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+__all__ = [
+    "DistFormat",
+    "Template",
+    "Processors",
+    "Distribute",
+    "Align",
+    "Shadow",
+]
+
+
+class DistFormat(enum.Enum):
+    """Per-dimension distribution format."""
+
+    MULTI = "MULTI"      # multipartitioned dimension
+    BLOCK = "BLOCK"      # contiguous block partitioned dimension
+    STAR = "*"           # unpartitioned (local) dimension
+
+
+@dataclasses.dataclass(frozen=True)
+class Template:
+    """An abstract index domain arrays align to."""
+
+    name: str
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.shape) < 1 or any(s < 1 for s in self.shape):
+            raise ValueError(f"invalid template shape {self.shape}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Processors:
+    """Total processor count (per-dimension extents are not meaningful for
+    multipartitioned templates — see Section 5)."""
+
+    name: str
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("processor count must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class Distribute:
+    """Distribution of a template onto a processor arrangement."""
+
+    template: Template
+    formats: tuple[DistFormat, ...]
+    processors: Processors
+
+    def __post_init__(self) -> None:
+        if len(self.formats) != len(self.template.shape):
+            raise ValueError(
+                "need one distribution format per template dimension"
+            )
+        kinds = set(self.formats)
+        if DistFormat.MULTI in kinds and DistFormat.BLOCK in kinds:
+            raise ValueError(
+                "MULTI and BLOCK cannot be mixed in one distribution"
+            )
+        if kinds == {DistFormat.STAR}:
+            raise ValueError("at least one dimension must be partitioned")
+
+    @property
+    def is_multipartitioned(self) -> bool:
+        return DistFormat.MULTI in self.formats
+
+    def partitioned_axes(self) -> tuple[int, ...]:
+        return tuple(
+            i
+            for i, f in enumerate(self.formats)
+            if f is not DistFormat.STAR
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Align:
+    """Identity alignment of an array with a template (general affine
+    alignments are out of scope — NAS SP needs only identity)."""
+
+    array: str
+    template: Template
+
+
+@dataclasses.dataclass(frozen=True)
+class Shadow:
+    """Shadow (ghost/halo) widths per dimension: (low, high) pairs."""
+
+    array: str
+    widths: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        for lo, hi in self.widths:
+            if lo < 0 or hi < 0:
+                raise ValueError("shadow widths must be >= 0")

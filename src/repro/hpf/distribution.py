@@ -1,0 +1,159 @@
+"""Resolved data distributions: directives -> concrete ownership.
+
+``resolve_distribution`` interprets a :class:`Distribute` directive the way
+dHPF does: MULTI dimensions trigger the Section-3 optimizer plus Section-4
+mapping (a :class:`MultipartitionPlan`); BLOCK dimensions produce a
+processor-grid block distribution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.api import MultipartitionPlan, plan_multipartitioning
+from repro.core.cost import CostModel
+from repro.core.factorization import prime_factorization
+from repro.sweep.tiles import TileGrid
+
+from .directives import Distribute, DistFormat
+
+__all__ = [
+    "ResolvedMulti",
+    "ResolvedBlock",
+    "resolve_distribution",
+    "block_process_grid",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ResolvedMulti:
+    """A multipartitioned template distribution."""
+
+    distribute: Distribute
+    plan: MultipartitionPlan
+
+    @property
+    def nprocs(self) -> int:
+        return self.plan.nprocs
+
+    @property
+    def grid(self) -> TileGrid:
+        return TileGrid(self.distribute.template.shape, self.plan.gammas)
+
+    def owner_of(self, tile: tuple[int, ...]) -> int:
+        return self.plan.partitioning.rank_of(tile)
+
+
+@dataclasses.dataclass(frozen=True)
+class ResolvedBlock:
+    """A classic BLOCK distribution on a processor grid."""
+
+    distribute: Distribute
+    proc_grid: tuple[int, ...]  # per-axis processor counts (1 on STAR axes)
+
+    @property
+    def nprocs(self) -> int:
+        return int(np.prod(self.proc_grid))
+
+    @property
+    def grid(self) -> TileGrid:
+        return TileGrid(self.distribute.template.shape, self.proc_grid)
+
+    def owner_of(self, tile: tuple[int, ...]) -> int:
+        rank = 0
+        for t, g in zip(tile, self.proc_grid):
+            rank = rank * g + t
+        return rank
+
+    def owner_table(self) -> np.ndarray:
+        coords = np.indices(self.proc_grid)
+        ranks = np.zeros(self.proc_grid, dtype=np.int64)
+        for axis in range(len(self.proc_grid)):
+            ranks = ranks * self.proc_grid[axis] + coords[axis]
+        return ranks
+
+
+def block_process_grid(
+    p: int, shape: tuple[int, ...], axes: tuple[int, ...]
+) -> tuple[int, ...]:
+    """Factor ``p`` over the BLOCK axes, near-cubically, larger extents
+    getting larger factors — dHPF's default processor-arrangement choice."""
+    grid = [1] * len(shape)
+    if not axes:
+        raise ValueError("no partitioned axes")
+    # Greedy: hand each prime factor (largest first) to the axis where the
+    # current per-processor extent is largest.
+    primes: list[int] = []
+    for prime, r in prime_factorization(p):
+        primes.extend([prime] * r)
+    for prime in sorted(primes, reverse=True):
+        target = max(axes, key=lambda ax: shape[ax] / grid[ax])
+        grid[target] *= prime
+    for ax in axes:
+        if grid[ax] > shape[ax]:
+            raise ValueError(
+                f"axis {ax} extent {shape[ax]} too small for {grid[ax]} blocks"
+            )
+    return tuple(grid)
+
+
+def resolve_distribution(
+    distribute: Distribute, model: CostModel | None = None
+) -> ResolvedMulti | ResolvedBlock:
+    """Turn a directive into a concrete ownership structure."""
+    shape = distribute.template.shape
+    p = distribute.processors.count
+    if distribute.is_multipartitioned:
+        # STAR dimensions must stay uncut: restrict the optimizer by
+        # planning on the MULTI axes only, then re-embedding.
+        multi_axes = [
+            i
+            for i, f in enumerate(distribute.formats)
+            if f is DistFormat.MULTI
+        ]
+        if len(multi_axes) < 2:
+            raise ValueError(
+                "multipartitioning needs >= 2 MULTI dimensions"
+            )
+        if len(multi_axes) == len(shape):
+            plan = plan_multipartitioning(shape, p, model)
+        else:
+            sub_shape = tuple(shape[i] for i in multi_axes)
+            sub_plan = plan_multipartitioning(sub_shape, p, model)
+            plan = _embed_plan(sub_plan, shape, multi_axes, p)
+        return ResolvedMulti(distribute=distribute, plan=plan)
+    axes = distribute.partitioned_axes()
+    grid = block_process_grid(p, shape, axes)
+    return ResolvedBlock(distribute=distribute, proc_grid=grid)
+
+
+def _embed_plan(
+    sub_plan: MultipartitionPlan,
+    shape: tuple[int, ...],
+    multi_axes: list[int],
+    p: int,
+) -> MultipartitionPlan:
+    """Lift a plan computed on a subset of axes back to the full rank by
+    inserting gamma == 1 on STAR axes."""
+    from repro.core.mapping import Multipartitioning
+    from repro.core.optimizer import PartitioningChoice
+
+    gammas = [1] * len(shape)
+    for axis, g in zip(multi_axes, sub_plan.gammas):
+        gammas[axis] = g
+    owner = sub_plan.partitioning.owner.reshape(tuple(gammas))
+    choice = PartitioningChoice(
+        gammas=tuple(gammas),
+        p=p,
+        cost=sub_plan.choice.cost,
+        candidates_examined=sub_plan.choice.candidates_examined,
+    )
+    return MultipartitionPlan(
+        shape=shape,
+        nprocs=p,
+        choice=choice,
+        mapping=sub_plan.mapping,
+        partitioning=Multipartitioning(owner=owner, nprocs=p),
+    )

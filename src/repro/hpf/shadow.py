@@ -1,0 +1,126 @@
+"""Shadow regions and communication-elimination analysis.
+
+dHPF's two most important communication optimizations beyond vectorization
+(Section 5) are modeled here:
+
+* **partial replication of computation** (the extended ``on_home``
+  directive): values a stencil needs from a neighbour tile are *recomputed*
+  locally into the shadow region instead of communicated, when the producing
+  statement's inputs are already available locally;
+* **HPF/JA LOCAL**: communication for values previously computed into a
+  shadow region is eliminated outright.
+
+The analysis is deliberately small — a stencil is summarized by its
+per-axis (low, high) reach — but it makes real decisions that the
+communication planner consumes, and the savings show up in planned message
+counts/bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["StencilSpec", "ShadowRegion", "CommDecision", "decide_stencil_comm"]
+
+
+@dataclasses.dataclass(frozen=True)
+class StencilSpec:
+    """Per-axis (low, high) dependence reach of a statement, e.g. a 3-point
+    stencil along axis 0 of a 3-D array: ``((1, 1), (0, 0), (0, 0))``."""
+
+    reach: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        for lo, hi in self.reach:
+            if lo < 0 or hi < 0:
+                raise ValueError("stencil reach must be >= 0")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.reach)
+
+    def touches_axis(self, axis: int) -> bool:
+        lo, hi = self.reach[axis]
+        return lo > 0 or hi > 0
+
+
+@dataclasses.dataclass
+class ShadowRegion:
+    """Allocated halo widths plus a validity flag per (axis, side).
+
+    ``valid[axis][side]`` is True when the shadow currently holds
+    up-to-date values (side 0 = low, 1 = high).
+    """
+
+    widths: tuple[tuple[int, int], ...]
+    valid: list[list[bool]] = dataclasses.field(default=None)  # type: ignore
+
+    def __post_init__(self) -> None:
+        for lo, hi in self.widths:
+            if lo < 0 or hi < 0:
+                raise ValueError("shadow widths must be >= 0")
+        if self.valid is None:
+            self.valid = [[False, False] for _ in self.widths]
+
+    def covers(self, stencil: StencilSpec) -> bool:
+        """Shadow wide enough for the stencil's reach on every axis."""
+        if stencil.ndim != len(self.widths):
+            raise ValueError("rank mismatch")
+        return all(
+            w_lo >= s_lo and w_hi >= s_hi
+            for (w_lo, w_hi), (s_lo, s_hi) in zip(self.widths, stencil.reach)
+        )
+
+    def invalidate(self) -> None:
+        for sides in self.valid:
+            sides[0] = sides[1] = False
+
+    def mark_valid(self, axis: int, side: int) -> None:
+        self.valid[axis][side] = True
+
+
+@dataclasses.dataclass(frozen=True)
+class CommDecision:
+    """Outcome of the shadow analysis for one (statement, axis, side)."""
+
+    action: str  # 'none' | 'local' | 'replicate' | 'communicate'
+    reason: str
+
+
+def decide_stencil_comm(
+    stencil: StencilSpec,
+    shadow: ShadowRegion,
+    axis: int,
+    side: int,
+    producer_is_local: bool,
+) -> CommDecision:
+    """Choose how a statement obtains off-tile values along (axis, side).
+
+    * stencil does not reach across this face -> no action;
+    * shadow already valid there (LOCAL directive semantics) -> none;
+    * the producing computation's own inputs are locally available ->
+      partially replicate it into the shadow (on_home extension) — trade a
+      sliver of redundant compute for a whole message;
+    * otherwise -> communicate the face.
+    """
+    lo, hi = stencil.reach[axis]
+    needed = lo if side == 0 else hi
+    if needed == 0:
+        return CommDecision("none", "stencil does not cross this face")
+    w = shadow.widths[axis][side]
+    if w < needed:
+        raise ValueError(
+            f"shadow width {w} cannot hold stencil reach {needed} "
+            f"(axis {axis}, side {side})"
+        )
+    if shadow.valid[axis][side]:
+        return CommDecision(
+            "local", "shadow already holds these values (HPF/JA LOCAL)"
+        )
+    if producer_is_local:
+        return CommDecision(
+            "replicate",
+            "producer inputs available locally: partially replicate "
+            "computation into the shadow (on_home)",
+        )
+    return CommDecision("communicate", "values must come from the owner")

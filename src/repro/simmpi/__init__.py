@@ -1,0 +1,86 @@
+"""SimMPI: a deterministic discrete-event message-passing simulator.
+
+Stands in for the paper's SGI Origin 2000 + MPI testbed.  Rank programs are
+generator functions receiving a :class:`Comm`; they exchange **real numpy
+payloads** while all time is virtual, charged by a :class:`MachineModel`.
+
+Quick use::
+
+    from repro.simmpi import Comm, origin2000, run
+
+    def program(comm: Comm):
+        if comm.rank == 0:
+            yield from comm.send({"hello": 1}, dest=1)
+        else:
+            data = yield from comm.recv(source=0)
+        return comm.rank
+
+    result = run(origin2000(), program, nprocs=2)
+    result.makespan, result.returns
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .comm import Comm, Request
+from .engine import Engine, SimDeadlockError, run_programs
+from .machine import MachineModel, bus, ethernet_cluster, origin2000
+from .message import ANY_TAG, Bytes, ComputeOp, MarkOp, RecvOp, SendOp
+from .topology import (
+    FullyConnected,
+    Hypercube,
+    Mesh2D,
+    Ring,
+    Topology,
+    topology_for,
+)
+from .trace import RunResult, Trace, TraceEvent
+from .traceio import ascii_timeline, to_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "Comm",
+    "Request",
+    "Engine",
+    "SimDeadlockError",
+    "run_programs",
+    "run",
+    "MachineModel",
+    "origin2000",
+    "ethernet_cluster",
+    "bus",
+    "ANY_TAG",
+    "Bytes",
+    "ComputeOp",
+    "MarkOp",
+    "RecvOp",
+    "SendOp",
+    "RunResult",
+    "Trace",
+    "TraceEvent",
+    "Topology",
+    "FullyConnected",
+    "Ring",
+    "Mesh2D",
+    "Hypercube",
+    "topology_for",
+    "ascii_timeline",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+
+def run(
+    machine: MachineModel,
+    program: Callable,
+    nprocs: int,
+    *args,
+    record_events: bool = False,
+    **kwargs,
+) -> RunResult:
+    """Instantiate ``program(Comm(rank, nprocs), *args, **kwargs)`` for every
+    rank and run the ensemble to completion."""
+    generators = [
+        program(Comm(rank, nprocs), *args, **kwargs) for rank in range(nprocs)
+    ]
+    return run_programs(machine, generators, record_events=record_events)

@@ -1,0 +1,250 @@
+"""Communicator API for simulated rank programs.
+
+All methods are *generators*: rank code calls them with ``yield from``::
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(data, dest=1, tag=7)
+        else:
+            data = yield from comm.recv(source=0, tag=7)
+
+Collectives are built from point-to-point messages with deterministic tree
+algorithms (binomial bcast/reduce, linear gather/alltoall), so their cost
+emerges from the machine model instead of being postulated.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from .message import ComputeOp, MarkOp, RecvOp, SendOp
+
+__all__ = ["Comm", "Request"]
+
+
+class Request:
+    """Handle for a non-blocking operation (mpi4py's ``isend``/``irecv``).
+
+    Sends in this simulator are eager (buffered), so an ``isend`` request is
+    complete on creation; an ``irecv`` request defers the blocking match to
+    :meth:`wait`.  ``wait`` is a generator: complete it with ``yield from``.
+    """
+
+    __slots__ = ("_comm", "_source", "_tag", "_done", "_value")
+
+    def __init__(self, comm: "Comm", source: int | None, tag: int,
+                 done: bool = False, value: Any = None):
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._done = done
+        self._value = value
+
+    @property
+    def completed(self) -> bool:
+        return self._done
+
+    def wait(self) -> Generator:
+        """Complete the operation; returns the received payload for
+        ``irecv`` requests, ``None`` for ``isend`` requests."""
+        if not self._done:
+            assert self._source is not None
+            self._value = yield from self._comm.recv(self._source, self._tag)
+            self._done = True
+        return self._value
+
+# Tag space: user tags must stay below _COLLECTIVE_TAG_BASE.
+_COLLECTIVE_TAG_BASE = 1 << 20
+_TAG_BCAST = _COLLECTIVE_TAG_BASE + 1
+_TAG_REDUCE = _COLLECTIVE_TAG_BASE + 2
+_TAG_GATHER = _COLLECTIVE_TAG_BASE + 3
+_TAG_BARRIER = _COLLECTIVE_TAG_BASE + 4
+_TAG_SCATTER = _COLLECTIVE_TAG_BASE + 5
+# alltoall uses one tag per round; keep a dedicated block clear of the rest
+_TAG_ALLTOALL = _COLLECTIVE_TAG_BASE + 1000
+
+
+class Comm:
+    """Handle giving a rank program its identity and messaging verbs."""
+
+    def __init__(self, rank: int, size: int):
+        if not 0 <= rank < size:
+            raise ValueError(f"rank {rank} out of range for size {size}")
+        self.rank = rank
+        self.size = size
+
+    # -- point to point -----------------------------------------------------
+
+    def send(self, payload: Any, dest: int, tag: int = 0) -> Generator:
+        """Eager buffered send (never blocks)."""
+        if dest == self.rank:
+            raise ValueError("self-send is not supported; keep data local")
+        yield SendOp(dest=dest, payload=payload, tag=tag)
+
+    def recv(self, source: int, tag: int = 0) -> Generator:
+        """Blocking receive; returns the payload."""
+        if source == self.rank:
+            raise ValueError("self-recv is not supported")
+        payload = yield RecvOp(source=source, tag=tag)
+        return payload
+
+    def sendrecv(
+        self,
+        payload: Any,
+        dest: int,
+        source: int,
+        sendtag: int = 0,
+        recvtag: int = 0,
+    ) -> Generator:
+        """Combined exchange: send then receive (safe because sends are
+        eager)."""
+        yield from self.send(payload, dest, sendtag)
+        got = yield from self.recv(source, recvtag)
+        return got
+
+    def isend(self, payload: Any, dest: int, tag: int = 0) -> Generator:
+        """Non-blocking send; returns an already-complete :class:`Request`
+        (sends are eager/buffered in this simulator)."""
+        yield from self.send(payload, dest, tag)
+        return Request(self, None, tag, done=True)
+
+    def irecv(self, source: int, tag: int = 0) -> "Request":
+        """Non-blocking receive: returns a :class:`Request` whose ``wait``
+        performs the blocking match.  Not a generator — posting costs
+        nothing; only waiting can block."""
+        if source == self.rank:
+            raise ValueError("self-recv is not supported")
+        return Request(self, source, tag)
+
+    def waitall(self, requests: list["Request"]) -> Generator:
+        """Complete a list of requests; returns their values in order."""
+        values = []
+        for req in requests:
+            value = yield from req.wait()
+            values.append(value)
+        return values
+
+    def compute(self, seconds: float, points: float = 0.0) -> Generator:
+        """Charge modeled compute time to this rank."""
+        yield ComputeOp(seconds=seconds, points=points)
+
+    def mark(self, label: str) -> Generator:
+        """Emit a trace marker."""
+        yield MarkOp(label=label)
+
+    # -- collectives ----------------------------------------------------------
+
+    def bcast(self, payload: Any, root: int = 0) -> Generator:
+        """Binomial-tree broadcast; returns the payload on every rank."""
+        size, rank = self.size, self.rank
+        if size == 1:
+            return payload
+        vrank = (rank - root) % size
+        mask = 1
+        while mask < size:
+            if vrank & mask:
+                src = ((vrank - mask) + root) % size
+                payload = yield from self.recv(src, _TAG_BCAST)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if vrank + mask < size:
+                dst = ((vrank + mask) + root) % size
+                yield from self.send(payload, dst, _TAG_BCAST)
+            mask >>= 1
+        return payload
+
+    def reduce(
+        self,
+        payload: Any,
+        op: Callable[[Any, Any], Any],
+        root: int = 0,
+    ) -> Generator:
+        """Binomial-tree reduction; returns the result on ``root``, ``None``
+        elsewhere.  ``op`` must be associative."""
+        size, rank = self.size, self.rank
+        vrank = (rank - root) % size
+        acc = payload
+        mask = 1
+        while mask < size:
+            if vrank & mask:
+                dst = ((vrank - mask) + root) % size
+                yield from self.send(acc, dst, _TAG_REDUCE)
+                return None
+            partner = vrank | mask
+            if partner < size:
+                src = (partner + root) % size
+                other = yield from self.recv(src, _TAG_REDUCE)
+                acc = op(acc, other)
+            mask <<= 1
+        return acc
+
+    def allreduce(
+        self, payload: Any, op: Callable[[Any, Any], Any]
+    ) -> Generator:
+        """Reduce to rank 0 then broadcast (deterministic and simple)."""
+        acc = yield from self.reduce(payload, op, root=0)
+        acc = yield from self.bcast(acc, root=0)
+        return acc
+
+    def barrier(self) -> Generator:
+        """Dissemination-style barrier via reduce + bcast of a token."""
+        yield from self.allreduce(0, lambda a, b: 0)
+
+    def gather(self, payload: Any, root: int = 0) -> Generator:
+        """Linear gather; returns the list of payloads (rank order) on
+        ``root``, ``None`` elsewhere."""
+        if self.rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = payload
+            for src in range(self.size):
+                if src != root:
+                    out[src] = yield from self.recv(src, _TAG_GATHER)
+            return out
+        yield from self.send(payload, root, _TAG_GATHER)
+        return None
+
+    def allgather(self, payload: Any) -> Generator:
+        """Gather to rank 0 then broadcast the list."""
+        lst = yield from self.gather(payload, root=0)
+        lst = yield from self.bcast(lst, root=0)
+        return lst
+
+    def scatter(self, payloads: list[Any] | None, root: int = 0) -> Generator:
+        """Linear scatter from ``root``; returns this rank's element."""
+        if self.rank == root:
+            if payloads is None or len(payloads) != self.size:
+                raise ValueError("root must supply one payload per rank")
+            for dst in range(self.size):
+                if dst != root:
+                    yield from self.send(payloads[dst], dst, _TAG_SCATTER)
+            return payloads[root]
+        got = yield from self.recv(root, _TAG_SCATTER)
+        return got
+
+    def alltoall(self, payloads: list[Any]) -> Generator:
+        """Personalized all-to-all: ``payloads[j]`` goes to rank ``j``;
+        returns the list received (index = source rank).
+
+        Pairwise-exchange schedule: ``size`` rounds, partner
+        ``rank XOR round`` when that is a valid rank, else a shifted partner
+        — deterministic and contention-reasonable.
+        """
+        size, rank = self.size, self.rank
+        if len(payloads) != size:
+            raise ValueError("alltoall needs one payload per rank")
+        received: list[Any] = [None] * size
+        received[rank] = payloads[rank]
+        for shift in range(1, size):
+            dst = (rank + shift) % size
+            src = (rank - shift) % size
+            got = yield from self.sendrecv(
+                payloads[dst],
+                dest=dst,
+                source=src,
+                sendtag=_TAG_ALLTOALL + shift,
+                recvtag=_TAG_ALLTOALL + shift,
+            )
+            received[src] = got
+        return received

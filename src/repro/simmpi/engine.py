@@ -1,0 +1,262 @@
+"""Deterministic discrete-event engine driving simulated rank programs.
+
+Each rank is a Python generator; the engine runs a rank until it blocks on a
+:class:`~repro.simmpi.message.RecvOp` whose message has not been *sent* yet,
+then switches to another runnable rank.  Determinism: ranks are always
+scanned in rank order, messages match in FIFO order per (source, dest, tag),
+and all time is virtual.
+
+Timing semantics (see :class:`~repro.simmpi.machine.MachineModel`):
+
+* ``SendOp`` — sender clock advances by ``send_cpu_time``; the message's
+  arrival time is ``sender_clock + transfer_time`` (eager/buffered send, the
+  sender never blocks — adequate for the coarse-grain, well-matched traffic
+  of line sweeps).
+* ``RecvOp`` — completes at ``max(receiver_clock, arrival) + recv_cpu_time``.
+* ``ComputeOp`` — advances the local clock.
+
+On a *bus* network all transfers additionally serialize through a shared
+channel: each message's wire occupancy begins no earlier than the channel's
+previous release.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Callable, Generator, Iterable
+
+from repro.core.cost import NetworkScaling
+
+from .machine import MachineModel
+from .message import (
+    ANY_TAG,
+    ComputeOp,
+    MarkOp,
+    Message,
+    RecvOp,
+    SendOp,
+    payload_nbytes,
+)
+from .trace import RunResult, Trace, TraceEvent
+
+__all__ = ["SimDeadlockError", "Engine", "run_programs"]
+
+RankProgram = Callable[..., Generator]
+
+
+class SimDeadlockError(RuntimeError):
+    """All unfinished ranks are blocked on receives that can never match."""
+
+
+class _RankState:
+    __slots__ = ("gen", "clock", "blocked", "done", "result", "pending_value")
+
+    def __init__(self, gen: Generator):
+        self.gen = gen
+        self.clock = 0.0
+        self.blocked: RecvOp | None = None
+        self.done = False
+        self.result: object = None
+        self.pending_value: object = None
+
+
+class Engine:
+    """Runs a set of rank generators to completion over virtual time."""
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        nprocs: int,
+        record_events: bool = False,
+    ):
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.machine = machine
+        self.nprocs = nprocs
+        self.trace = Trace(enabled=record_events)
+        # FIFO queues of undelivered messages keyed by (source, dest, tag).
+        self._mailbox: dict[tuple[int, int, int], deque[Message]] = (
+            defaultdict(deque)
+        )
+        # arrival order per (source, dest) for ANY_TAG matching
+        self._arrival_seq: dict[tuple[int, int], deque[Message]] = (
+            defaultdict(deque)
+        )
+        self._bus_free_at = 0.0
+
+    # -- op handlers ---------------------------------------------------------
+
+    def _do_send(self, rank: int, state: _RankState, op: SendOp) -> None:
+        if not 0 <= op.dest < self.nprocs:
+            raise ValueError(f"rank {rank}: send to invalid dest {op.dest}")
+        nbytes = payload_nbytes(op.payload)
+        start = state.clock
+        state.clock += self.machine.send_cpu_time(nbytes)
+        wire_start = state.clock
+        if self.machine.network is NetworkScaling.BUS:
+            wire_start = max(wire_start, self._bus_free_at)
+        arrives = wire_start + self.machine.transfer_time(
+            nbytes, src=rank, dst=op.dest
+        )
+        if self.machine.network is NetworkScaling.BUS:
+            self._bus_free_at = arrives
+        msg = Message(
+            source=rank,
+            dest=op.dest,
+            tag=op.tag,
+            payload=op.payload,
+            nbytes=nbytes,
+            sent_at=state.clock,
+            arrives_at=arrives,
+        )
+        self._mailbox[(rank, op.dest, op.tag)].append(msg)
+        self._arrival_seq[(rank, op.dest)].append(msg)
+        self.trace.record(
+            TraceEvent(
+                rank=rank,
+                kind="send",
+                start=start,
+                end=state.clock,
+                detail=f"->{op.dest} tag={op.tag}",
+                nbytes=nbytes,
+            )
+        )
+
+    def _try_recv(self, rank: int, state: _RankState, op: RecvOp) -> bool:
+        """Attempt to complete a receive; True on success."""
+        if not 0 <= op.source < self.nprocs:
+            raise ValueError(
+                f"rank {rank}: recv from invalid source {op.source}"
+            )
+        if op.tag == ANY_TAG:
+            seq = self._arrival_seq[(op.source, rank)]
+            if not seq:
+                return False
+            msg = seq.popleft()
+            self._mailbox[(op.source, rank, msg.tag)].remove(msg)
+        else:
+            q = self._mailbox[(op.source, rank, op.tag)]
+            if not q:
+                return False
+            msg = q.popleft()
+            self._arrival_seq[(op.source, rank)].remove(msg)
+        start = max(state.clock, msg.arrives_at)
+        state.clock = start + self.machine.recv_cpu_time(msg.nbytes)
+        state.pending_value = msg.payload
+        self.trace.record(
+            TraceEvent(
+                rank=rank,
+                kind="recv",
+                start=start,
+                end=state.clock,
+                detail=f"<-{op.source} tag={msg.tag}",
+                nbytes=msg.nbytes,
+            )
+        )
+        return True
+
+    def _do_compute(self, rank: int, state: _RankState, op: ComputeOp) -> None:
+        start = state.clock
+        state.clock += op.seconds
+        self.trace.record(
+            TraceEvent(
+                rank=rank,
+                kind="compute",
+                start=start,
+                end=state.clock,
+                detail=f"{op.points:g} pts" if op.points else "",
+            )
+        )
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self, generators: Iterable[Generator]) -> RunResult:
+        states = [_RankState(g) for g in generators]
+        if len(states) != self.nprocs:
+            raise ValueError(
+                f"expected {self.nprocs} rank programs, got {len(states)}"
+            )
+        runnable = deque(range(self.nprocs))
+        while runnable:
+            rank = runnable.popleft()
+            state = states[rank]
+            if state.done:
+                continue
+            self._advance(rank, state)
+            if not state.done and state.blocked is None:
+                raise AssertionError("rank neither done nor blocked")
+            # A rank that blocked may be unblocked by messages already sent;
+            # _advance loops internally, so reaching here means it is either
+            # finished or waiting on a future message.  Wake any ranks whose
+            # receives can now match.
+            progressed = True
+            while progressed:
+                progressed = False
+                for other_rank, other in enumerate(states):
+                    if other.done or other.blocked is None:
+                        continue
+                    if self._try_recv(other_rank, other, other.blocked):
+                        other.blocked = None
+                        self._advance(other_rank, other)
+                        progressed = True
+            if all(s.done or s.blocked is not None for s in states) and not all(
+                s.done for s in states
+            ):
+                blocked = [
+                    (r, s.blocked)
+                    for r, s in enumerate(states)
+                    if not s.done
+                ]
+                raise SimDeadlockError(
+                    f"deadlock: ranks blocked on unmatched receives {blocked}"
+                )
+        return RunResult(
+            clocks=tuple(s.clock for s in states),
+            returns=tuple(s.result for s in states),
+            trace=self.trace,
+        )
+
+    def _advance(self, rank: int, state: _RankState) -> None:
+        """Drive one rank until it finishes or blocks on an empty receive."""
+        while True:
+            try:
+                value, state.pending_value = state.pending_value, None
+                op = state.gen.send(value) if value is not None else next(
+                    state.gen
+                )
+            except StopIteration as stop:
+                state.done = True
+                state.result = stop.value
+                return
+            if isinstance(op, SendOp):
+                self._do_send(rank, state, op)
+            elif isinstance(op, RecvOp):
+                if not self._try_recv(rank, state, op):
+                    state.blocked = op
+                    return
+            elif isinstance(op, ComputeOp):
+                self._do_compute(rank, state, op)
+            elif isinstance(op, MarkOp):
+                self.trace.record(
+                    TraceEvent(
+                        rank=rank,
+                        kind="mark",
+                        start=state.clock,
+                        end=state.clock,
+                        detail=op.label,
+                    )
+                )
+            else:
+                raise TypeError(
+                    f"rank {rank} yielded unsupported op {op!r}"
+                )
+
+
+def run_programs(
+    machine: MachineModel,
+    programs: list[Generator],
+    record_events: bool = False,
+) -> RunResult:
+    """Convenience wrapper: run already-instantiated rank generators."""
+    engine = Engine(machine, nprocs=len(programs), record_events=record_events)
+    return engine.run(programs)

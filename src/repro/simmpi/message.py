@@ -1,0 +1,109 @@
+"""Messages and the primitive operations rank programs yield to the engine.
+
+Rank programs are generator functions ``prog(comm)`` that ``yield`` these
+primitive ops (usually indirectly, through :class:`repro.simmpi.comm.Comm`
+helpers with ``yield from``).  The engine interprets each op, charges virtual
+time, and sends results back into the generator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "payload_nbytes",
+    "Bytes",
+    "Message",
+    "SendOp",
+    "RecvOp",
+    "ComputeOp",
+    "MarkOp",
+    "ANY_TAG",
+]
+
+ANY_TAG = -1
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Wire size of a payload: numpy arrays count their buffer, ``Bytes``
+    sentinels their declared size, everything else its pickled size (the
+    mpi4py lower-case-method convention)."""
+    if isinstance(payload, Bytes):
+        return payload.nbytes
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+@dataclasses.dataclass(frozen=True)
+class Bytes:
+    """A payload-free message body of a declared size — used by *modeled
+    mode* executors that track time and volume without moving data."""
+
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class Message:
+    """An in-flight or delivered message."""
+
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+    nbytes: int
+    sent_at: float
+    arrives_at: float
+
+
+@dataclasses.dataclass(frozen=True)
+class SendOp:
+    """Buffered (eager) send: charges sender CPU overhead and schedules the
+    arrival; never blocks the sender.
+
+    Payloads travel zero-copy: the receiver gets the same object the sender
+    passed.  If the sender will mutate the underlying buffer after sending
+    (e.g. an array view into a block that gets updated), it must pass a
+    copy — exactly the MPI buffer-reuse contract."""
+
+    dest: int
+    payload: Any
+    tag: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class RecvOp:
+    """Blocking receive matched by (source, tag) in FIFO order.  ``tag`` may
+    be :data:`ANY_TAG` to match the earliest message from ``source``."""
+
+    source: int
+    tag: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class ComputeOp:
+    """Advance the local clock by a modeled compute duration (seconds)."""
+
+    seconds: float
+    points: float = 0.0  # bookkeeping only: elements touched, for traces
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError("compute duration must be >= 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class MarkOp:
+    """Trace marker (phase boundaries etc.); costs nothing."""
+
+    label: str

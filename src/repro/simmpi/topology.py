@@ -1,0 +1,133 @@
+"""Network topologies — implementing the paper's named future work.
+
+Section 4: "with our objective function, the network topology is not taken
+into account yet and all valid mappings are considered equally good", and
+Section 2 recalls why it matters: Johnsson's 2-D multipartitioning maps
+sweeps onto a *ring* with nearest-neighbor traffic only, and
+Bruno–Cappello's Gray-code mapping keeps i/j-neighbors one *hypercube* hop
+apart.  This module provides those topologies so mappings can be scored —
+and chosen — by where their neighbor shifts actually land.
+
+A topology supplies ``hops(src, dst)``; the machine model charges
+``latency + per_hop_latency * (hops - 1)`` per message, so a mapping whose
+neighbor ranks are far apart pays for it in every sweep phase.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.factorization import integer_nth_root
+
+__all__ = [
+    "Topology",
+    "FullyConnected",
+    "Ring",
+    "Mesh2D",
+    "Hypercube",
+    "topology_for",
+]
+
+
+class Topology(abc.ABC):
+    """Distance structure over ranks ``0 .. nprocs-1``."""
+
+    def __init__(self, nprocs: int):
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.nprocs = nprocs
+
+    @abc.abstractmethod
+    def hops(self, src: int, dst: int) -> int:
+        """Number of network hops between two ranks (0 for src == dst)."""
+
+    def _check(self, src: int, dst: int) -> None:
+        if not (0 <= src < self.nprocs and 0 <= dst < self.nprocs):
+            raise ValueError(
+                f"ranks ({src}, {dst}) out of range [0, {self.nprocs})"
+            )
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.lower()
+
+    def diameter(self) -> int:
+        """Maximum hop distance (brute force; fine for p <= a few hundred)."""
+        return max(
+            self.hops(a, b)
+            for a in range(self.nprocs)
+            for b in range(self.nprocs)
+        )
+
+
+class FullyConnected(Topology):
+    """Crossbar: every pair one hop apart — the paper's implicit model."""
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        return 0 if src == dst else 1
+
+
+class Ring(Topology):
+    """Bidirectional ring (Johnsson et al.'s target machine)."""
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        d = abs(src - dst)
+        return min(d, self.nprocs - d)
+
+
+class Mesh2D(Topology):
+    """``rows x cols`` 2-D mesh without wraparound, row-major ranks."""
+
+    def __init__(self, rows: int, cols: int):
+        if rows < 1 or cols < 1:
+            raise ValueError("mesh dimensions must be >= 1")
+        super().__init__(rows * cols)
+        self.rows = rows
+        self.cols = cols
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        r1, c1 = divmod(src, self.cols)
+        r2, c2 = divmod(dst, self.cols)
+        return abs(r1 - r2) + abs(c1 - c2)
+
+
+class Hypercube(Topology):
+    """``2**n``-node hypercube (Bruno–Cappello's target machine): hop count
+    is the Hamming distance of the rank labels."""
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError("hypercube dimension must be >= 0")
+        super().__init__(2**n)
+        self.n = n
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        return bin(src ^ dst).count("1")
+
+
+def topology_for(kind: str, nprocs: int) -> Topology:
+    """Build a named topology sized for ``nprocs`` ranks.
+
+    ``mesh2d`` needs ``nprocs`` to factor near-squarely; ``hypercube``
+    needs a power of two.
+    """
+    kind = kind.lower()
+    if kind in ("full", "fullyconnected", "crossbar"):
+        return FullyConnected(nprocs)
+    if kind == "ring":
+        return Ring(nprocs)
+    if kind == "mesh2d":
+        rows = integer_nth_root(nprocs, 2)
+        while rows > 1 and nprocs % rows:
+            rows -= 1
+        return Mesh2D(rows, nprocs // rows)
+    if kind == "hypercube":
+        n = nprocs.bit_length() - 1
+        if 2**n != nprocs:
+            raise ValueError(f"hypercube needs a power-of-two p, got {nprocs}")
+        return Hypercube(n)
+    raise ValueError(f"unknown topology {kind!r}")

@@ -1,0 +1,85 @@
+"""Execution traces and aggregate statistics for simulated runs."""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+
+__all__ = ["TraceEvent", "Trace", "RunResult"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One timeline entry: ``kind`` in {'send', 'recv', 'compute', 'mark'}."""
+
+    rank: int
+    kind: str
+    start: float
+    end: float
+    detail: str = ""
+    nbytes: int = 0
+
+
+@dataclasses.dataclass
+class Trace:
+    """Append-only event log with aggregate counters."""
+
+    events: list[TraceEvent] = dataclasses.field(default_factory=list)
+    enabled: bool = True
+
+    message_count: int = 0
+    total_bytes: int = 0
+    compute_seconds: float = 0.0
+
+    def record(self, event: TraceEvent) -> None:
+        if event.kind == "send":
+            self.message_count += 1
+            self.total_bytes += event.nbytes
+        elif event.kind == "compute":
+            self.compute_seconds += event.end - event.start
+        if self.enabled:
+            self.events.append(event)
+
+    def events_of(self, rank: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.rank == rank]
+
+    def marks(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == "mark"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RunResult:
+    """Outcome of a simulated run."""
+
+    clocks: tuple[float, ...]          # final virtual clock per rank
+    returns: tuple[object, ...]        # generator return values per rank
+    trace: Trace
+
+    @property
+    def makespan(self) -> float:
+        """Virtual wall time of the whole run (max over rank clocks)."""
+        return max(self.clocks) if self.clocks else 0.0
+
+    @property
+    def message_count(self) -> int:
+        return self.trace.message_count
+
+    @property
+    def total_bytes(self) -> int:
+        return self.trace.total_bytes
+
+    def busy_seconds(self) -> tuple[float, ...]:
+        """Per-rank time spent in compute + message endpoints (needs a
+        trace recorded with ``enabled=True``)."""
+        busy: dict[int, float] = defaultdict(float)
+        for e in self.trace.events:
+            if e.kind in ("compute", "send", "recv"):
+                busy[e.rank] += e.end - e.start
+        return tuple(busy[r] for r in range(len(self.clocks)))
+
+    def efficiency(self) -> float:
+        """Mean busy fraction across ranks (1.0 = no idle time)."""
+        if not self.clocks or self.makespan == 0:
+            return 1.0
+        busy = self.busy_seconds()
+        return sum(busy) / (len(self.clocks) * self.makespan)

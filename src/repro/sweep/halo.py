@@ -1,0 +1,92 @@
+"""Halo exchange for 1-D (slab) partitionings — shared by the wavefront and
+transpose baseline executors.
+
+A slab owns the full extent of every axis except ``part_axis``, so a star
+stencil needs ghosts only across the two slab faces: rank ``r`` sends its
+trailing planes to ``r+1`` (their low ghosts) and its leading planes to
+``r-1`` (their high ghosts).  All other axes are globally complete, so
+their padding is the global zero boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.simmpi.comm import Comm
+from repro.simmpi.machine import MachineModel
+
+from .ops import StencilOp
+
+__all__ = ["slab_stencil"]
+
+
+def slab_stencil(
+    comm: Comm,
+    slab: np.ndarray,
+    op: StencilOp,
+    part_axis: int,
+    machine: MachineModel,
+    tag_base: int,
+    out: np.ndarray | None = None,
+) -> Generator:
+    """Apply a star stencil to this rank's slab, exchanging the two
+    ``part_axis`` faces with the neighbouring ranks.  Writes the result to
+    ``out`` (default: in place) and charges compute time."""
+    ndim = slab.ndim
+    reach = op.pad_widths(ndim)
+    low_w, high_w = reach[part_axis]
+    rank, size = comm.rank, comm.size
+
+    def face(index: slice) -> np.ndarray:
+        sel: list = [slice(None)] * ndim
+        sel[part_axis] = index
+        # copy=True: a part_axis == 0 slice is contiguous, and
+        # ascontiguousarray would alias the slab we are about to update
+        return np.array(slab[tuple(sel)], copy=True)
+
+    n = slab.shape[part_axis]
+    # sends first (eager), then receives — no deadlock possible
+    if low_w and rank + 1 < size:
+        yield from comm.send(
+            face(slice(n - low_w, n)), rank + 1, tag_base
+        )
+    if high_w and rank - 1 >= 0:
+        yield from comm.send(
+            face(slice(0, high_w)), rank - 1, tag_base + 1
+        )
+    low_ghost = high_ghost = None
+    if low_w and rank - 1 >= 0:
+        low_ghost = yield from comm.recv(rank - 1, tag_base)
+    if high_w and rank + 1 < size:
+        high_ghost = yield from comm.recv(rank + 1, tag_base + 1)
+
+    padded = np.pad(slab, reach, mode="constant")
+    if low_ghost is not None:
+        sel: list = [slice(None)] * ndim
+        # non-part axes of `padded` are wider than the ghost: align to core
+        for ax in range(ndim):
+            lo, _ = reach[ax]
+            sel[ax] = slice(lo, lo + slab.shape[ax])
+        sel[part_axis] = slice(0, low_w)
+        padded[tuple(sel)] = low_ghost
+    if high_ghost is not None:
+        sel = [slice(None)] * ndim
+        for ax in range(ndim):
+            lo, _ = reach[ax]
+            sel[ax] = slice(lo, lo + slab.shape[ax])
+        sel[part_axis] = slice(low_w + n, low_w + n + high_w)
+        padded[tuple(sel)] = high_ghost
+
+    result = op.fn(padded)
+    if result.shape != slab.shape:
+        raise ValueError(
+            f"{op.name} must return the core shape {slab.shape}, "
+            f"got {result.shape}"
+        )
+    (out if out is not None else slab)[...] = result
+    yield from comm.compute(
+        machine.compute_time(slab.size, op.flops_per_point, tiles=1),
+        points=slab.size,
+    )

@@ -1,0 +1,93 @@
+"""Sequential reference executor — the ground truth all distributed
+strategies are verified against, and the baseline for speedup measurements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simmpi.machine import MachineModel
+
+from .ops import (
+    BinaryPointwiseOp,
+    BlockSweepOp,
+    CopyOp,
+    PointwiseOp,
+    StencilOp,
+    SweepOp,
+    scan_op,
+)
+
+__all__ = ["run_sequential", "sequential_time"]
+
+
+def run_sequential(arrays, schedule):
+    """Execute a schedule on one processor.
+
+    ``arrays`` may be a single numpy array (back-compatible: ops default to
+    array name "u" and a single array is returned) or a dict of aligned
+    same-shape arrays keyed by name (a dict of new arrays is returned).
+    """
+    single = not isinstance(arrays, dict)
+    named = {"u": arrays} if single else arrays
+    out = {
+        name: np.array(a, dtype=np.float64, copy=True)
+        for name, a in named.items()
+    }
+    shapes = {a.shape for a in out.values()}
+    if len(shapes) > 1:
+        raise ValueError(f"aligned arrays must share a shape, got {shapes}")
+
+    def get(name: str) -> np.ndarray:
+        if name not in out:
+            raise KeyError(f"schedule references unknown array {name!r}")
+        return out[name]
+
+    for op in schedule:
+        if isinstance(op, (SweepOp, BlockSweepOp)):
+            target = get(op.array)
+            n = target.shape[op.axis % target.ndim]
+            scan_op(target, op, 0, n, n, carry=None)
+        elif isinstance(op, StencilOp):
+            src = get(op.array)
+            padded = np.pad(src, op.pad_widths(src.ndim), mode="constant")
+            result = op.fn(padded)
+            if result.shape != src.shape:
+                raise ValueError(
+                    f"{op.name} must return the core shape {src.shape}, "
+                    f"got {result.shape}"
+                )
+            dst = op.out_array or op.array
+            get(dst)[...] = result
+        elif isinstance(op, BinaryPointwiseOp):
+            target = get(op.target)
+            result = op.fn(target, get(op.source))
+            if result.shape != target.shape:
+                raise ValueError(f"{op.name} changed the array's shape")
+            target[...] = result
+        elif isinstance(op, CopyOp):
+            get(op.dst)[...] = get(op.src)
+        elif isinstance(op, PointwiseOp):
+            target = get(op.array)
+            result = op.fn(target)
+            if result.shape != target.shape:
+                raise ValueError(
+                    f"{op.name} changed shape {target.shape} -> "
+                    f"{result.shape}"
+                )
+            target[...] = result
+        else:
+            raise TypeError(f"unsupported op {op!r}")
+    return out["u"] if single else out
+
+
+def sequential_time(
+    shape: tuple[int, ...], schedule, machine: MachineModel
+) -> float:
+    """Modeled single-processor execution time of a schedule: pure compute,
+    no communication (the denominator of every speedup in Table 1)."""
+    points = float(np.prod(shape))
+    total = 0.0
+    for op in schedule:
+        total += machine.compute_time(points, ops=op.flops_per_point)
+    return total

@@ -1,0 +1,63 @@
+"""Shared op dispatch for slab-based executors (wavefront, transpose,
+block-grid): the communication-free ops applied to whole local slabs."""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+import numpy as np
+
+from repro.simmpi.comm import Comm
+from repro.simmpi.machine import MachineModel
+
+from .ops import BinaryPointwiseOp, CopyOp, PointwiseOp
+
+__all__ = ["local_slab_op", "as_named", "unwrap_named"]
+
+
+def as_named(arrays) -> tuple[bool, dict]:
+    """Normalize executor input: single array -> {"u": array}."""
+    single = not isinstance(arrays, dict)
+    named = {"u": arrays} if single else arrays
+    shapes = {np.asarray(a).shape for a in named.values()}
+    if len(shapes) > 1:
+        raise ValueError(f"aligned arrays must share a shape, got {shapes}")
+    return single, named
+
+
+def unwrap_named(single: bool, named: dict):
+    return named["u"] if single else named
+
+
+def local_slab_op(
+    comm: Comm,
+    op,
+    get: Callable[[str], np.ndarray],
+    machine: MachineModel,
+) -> Generator:
+    """Apply a communication-free op (pointwise / binary / copy) to this
+    rank's slabs; ``get(name)`` returns the local slab of an array."""
+    if isinstance(op, PointwiseOp):
+        slab = get(op.array)
+        result = op.fn(slab)
+        if result.shape != slab.shape:
+            raise ValueError(f"{op.name} changed the slab's shape")
+        slab[...] = result
+        size = slab.size
+    elif isinstance(op, BinaryPointwiseOp):
+        target = get(op.target)
+        result = op.fn(target, get(op.source))
+        if result.shape != target.shape:
+            raise ValueError(f"{op.name} changed the slab's shape")
+        target[...] = result
+        size = target.size
+    elif isinstance(op, CopyOp):
+        dst = get(op.dst)
+        dst[...] = get(op.src)
+        size = dst.size
+    else:
+        raise TypeError(f"not a local slab op: {op!r}")
+    yield from comm.compute(
+        machine.compute_time(size, op.flops_per_point, tiles=1),
+        points=size,
+    )

@@ -1,0 +1,176 @@
+"""Baseline 1: static block unipartitioning with pipelined wavefront sweeps.
+
+The array is cut into ``p`` contiguous slabs along one dimension
+(``part_axis``); each rank owns one slab for the whole computation.
+
+* Sweeps along any *other* axis are entirely local (every line lies inside
+  one slab): perfect parallelism, zero communication.
+* A sweep along ``part_axis`` is serialized by the recurrence, so it is
+  pipelined: the orthogonal plane is cut into ``chunks`` pieces and rank
+  ``r`` starts chunk ``c`` as soon as rank ``r-1`` finishes it.  Small
+  chunks shorten pipeline fill/drain but pay more per-message overhead —
+  the classic tension the paper describes in Section 1.
+
+Real-data mode: verified elementwise against the sequential reference.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.simmpi.comm import Comm
+from repro.simmpi.engine import run_programs
+from repro.simmpi.machine import MachineModel
+
+from .halo import slab_stencil
+from .ops import (
+    BinaryPointwiseOp,
+    BlockSweepOp,
+    CopyOp,
+    PointwiseOp,
+    StencilOp,
+    SweepOp,
+    scan_op,
+)
+from .slabops import as_named, local_slab_op, unwrap_named
+from .tiles import axis_extents
+
+__all__ = ["WavefrontExecutor"]
+
+
+class WavefrontExecutor:
+    """Static block unipartitioning executor with pipelined sweeps."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        shape: tuple[int, ...],
+        machine: MachineModel,
+        part_axis: int = 0,
+        chunks: int = 8,
+        record_events: bool = False,
+    ):
+        shape = tuple(int(s) for s in shape)
+        if not 0 <= part_axis < len(shape):
+            raise ValueError("part_axis out of range")
+        if nprocs < 1 or nprocs > shape[part_axis]:
+            raise ValueError(
+                f"need 1 <= nprocs <= extent of axis {part_axis}"
+            )
+        if chunks < 1:
+            raise ValueError("chunks must be >= 1")
+        self.nprocs = nprocs
+        self.shape = shape
+        self.machine = machine
+        self.part_axis = part_axis
+        self.chunks = chunks
+        self.record_events = record_events
+        self._spans = axis_extents(shape[part_axis], nprocs)
+
+    def run(self, arrays, schedule) -> "tuple":
+        single, named = as_named(arrays)
+        per_rank: list[dict] = [{} for _ in range(self.nprocs)]
+        for name, array in named.items():
+            array = np.asarray(array, dtype=np.float64)
+            if array.shape != self.shape:
+                raise ValueError("array shape mismatch")
+            for rank, (lo, hi) in enumerate(self._spans):
+                per_rank[rank][name] = np.ascontiguousarray(
+                    np.take(array, range(lo, hi), axis=self.part_axis)
+                )
+        programs = [
+            self._rank_program(Comm(rank, self.nprocs), per_rank[rank],
+                               schedule)
+            for rank in range(self.nprocs)
+        ]
+        result = run_programs(
+            self.machine, programs, record_events=self.record_events
+        )
+        out = {
+            name: np.concatenate(
+                [per_rank[r][name] for r in range(self.nprocs)],
+                axis=self.part_axis,
+            )
+            for name in named
+        }
+        return unwrap_named(single, out), result
+
+    def _rank_program(
+        self, comm: Comm, slabs: dict, schedule
+    ) -> Generator:
+        def get(name: str) -> np.ndarray:
+            if name not in slabs:
+                raise KeyError(
+                    f"schedule references unknown array {name!r}"
+                )
+            return slabs[name]
+
+        for op_index, op in enumerate(schedule):
+            if isinstance(op, (PointwiseOp, BinaryPointwiseOp, CopyOp)):
+                yield from local_slab_op(comm, op, get, self.machine)
+            elif isinstance(op, StencilOp):
+                yield from slab_stencil(
+                    comm,
+                    get(op.array),
+                    op,
+                    self.part_axis,
+                    self.machine,
+                    (op_index + 1) * 100_000 + 50_000,
+                    out=get(op.out_array or op.array),
+                )
+            elif isinstance(op, (SweepOp, BlockSweepOp)):
+                slab = get(op.array)
+                axis = op.axis % len(self.shape)
+                if axis != self.part_axis:
+                    # fully local sweep
+                    n = self.shape[axis]
+                    scan_op(slab, op, 0, n, n, carry=None)
+                    yield from comm.compute(
+                        self.machine.compute_time(
+                            slab.size, op.flops_per_point, tiles=1
+                        ),
+                        points=slab.size,
+                    )
+                else:
+                    yield from self._pipelined_sweep(comm, slab, op, op_index)
+            else:
+                raise TypeError(f"unsupported op {op!r}")
+        return comm.rank
+
+    def _pipelined_sweep(
+        self, comm: Comm, slab: np.ndarray, op: SweepOp, op_index: int
+    ) -> Generator:
+        """Wavefront sweep along the partitioned axis, chunked over the
+        first orthogonal axis."""
+        axis = self.part_axis
+        lo, hi = self._spans[comm.rank]
+        n_global = self.shape[axis]
+        upstream = comm.rank - 1 if not op.reverse else comm.rank + 1
+        downstream = comm.rank + 1 if not op.reverse else comm.rank - 1
+        first = comm.rank == (0 if not op.reverse else self.nprocs - 1)
+        last = comm.rank == (self.nprocs - 1 if not op.reverse else 0)
+        tag_base = (op_index + 1) * 100_000
+
+        # chunk over some orthogonal axis (first one that is not `axis`)
+        chunk_axis = 0 if axis != 0 else 1
+        n_chunk_axis = slab.shape[chunk_axis]
+        chunks = min(self.chunks, n_chunk_axis)
+        chunk_spans = axis_extents(n_chunk_axis, chunks)
+
+        for c, (clo, chi) in enumerate(chunk_spans):
+            sel: list = [slice(None)] * slab.ndim
+            sel[chunk_axis] = slice(clo, chi)
+            sub = slab[tuple(sel)]
+            if first:
+                carry_in = None
+            else:
+                carry_in = yield from comm.recv(upstream, tag_base + c)
+            carry_out = scan_op(sub, op, lo, hi, n_global, carry=carry_in)
+            yield from comm.compute(
+                self.machine.compute_time(sub.size, op.flops_per_point, tiles=1),
+                points=sub.size,
+            )
+            if not last:
+                yield from comm.send(carry_out, downstream, tag_base + c)

@@ -1,0 +1,58 @@
+"""Tests for cost-model calibration against the simulator."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    CalibrationResult,
+    calibrate,
+    pingpong_times,
+)
+from repro.core.api import plan_multipartitioning
+from repro.simmpi.machine import MachineModel, origin2000
+
+
+class TestPingpong:
+    def test_monotone_in_size(self):
+        m = origin2000()
+        times = pingpong_times(m, [1, 100, 10000])
+        assert times == sorted(times)
+
+    def test_matches_machine_directly(self):
+        m = MachineModel(overhead=1e-6, latency=1e-5, bandwidth=1e8)
+        (t,) = pingpong_times(m, [1000])
+        nbytes = 1000 * m.itemsize
+        expected = 2 * m.overhead + m.latency + nbytes / m.bandwidth
+        assert t == pytest.approx(expected, rel=1e-12)
+
+
+class TestCalibrate:
+    def test_recovers_machine_constants(self):
+        m = origin2000()
+        fit = calibrate(m)
+        assert fit.k1 == pytest.approx(m.compute_per_point, rel=1e-6)
+        assert fit.k2 == pytest.approx(m.k2, rel=0.05)
+        assert fit.k3 == pytest.approx(m.itemsize / m.bandwidth, rel=0.05)
+        assert fit.pingpong_residual < 0.01
+
+    def test_fitted_model_reproduces_planner_choice(self):
+        """The whole point: a partitioning planned with the *fitted* model
+        matches one planned with the machine's true cost model."""
+        m = origin2000()
+        fit = calibrate(m)
+        shape = (102, 102, 102)
+        for p in (16, 50, 45):
+            true_plan = plan_multipartitioning(shape, p, m.to_cost_model())
+            fitted_plan = plan_multipartitioning(
+                shape, p, fit.to_cost_model()
+            )
+            assert true_plan.gammas == fitted_plan.gammas
+
+    def test_needs_two_sizes(self):
+        with pytest.raises(ValueError):
+            calibrate(origin2000(), sizes=[8])
+
+    def test_result_type(self):
+        fit = calibrate(origin2000(), sizes=[16, 1024])
+        assert isinstance(fit, CalibrationResult)
+        cm = fit.to_cost_model()
+        assert cm.k1 > 0 and cm.k2 > 0 and cm.k3 > 0

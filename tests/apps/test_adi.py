@@ -1,0 +1,75 @@
+"""Tests for the ADI integration workload."""
+
+import numpy as np
+import pytest
+
+from repro.apps.adi import ADIProblem
+from repro.apps.workloads import random_field
+from repro.core.api import plan_multipartitioning
+from repro.sweep.multipart import MultipartExecutor
+from repro.sweep.ops import PointwiseOp, SweepOp
+
+
+class TestADIProblem:
+    def test_schedule_structure(self):
+        prob = ADIProblem(shape=(8, 8, 8), steps=2)
+        sched = prob.schedule()
+        # per step: 3 axes x (2 sweeps + 1 pointwise) = 9 ops
+        assert len(sched) == 18
+        sweeps = [op for op in sched if isinstance(op, SweepOp)]
+        points = [op for op in sched if isinstance(op, PointwiseOp)]
+        assert len(sweeps) == 12 and len(points) == 6
+
+    def test_coefficients_diagonally_dominant(self):
+        a, b, c = ADIProblem(shape=(8, 8), tau=0.3).coefficients()
+        assert abs(b) > abs(a) + abs(c)
+
+    def test_diffusion_smooths(self, rng):
+        """ADI on a noisy field must reduce variance (it is a diffusion
+        solver) while staying finite."""
+        prob = ADIProblem(shape=(16, 16), steps=3, tau=0.5, source=0.0)
+        field = rng.standard_normal((16, 16))
+        out = prob.solve_sequential(field)
+        assert np.isfinite(out).all()
+        assert out.std() < field.std()
+
+    def test_distributed_matches_sequential(self, machine):
+        prob = ADIProblem(shape=(12, 12, 12), steps=2)
+        field = random_field(prob.shape)
+        ref = prob.solve_sequential(field)
+        plan = plan_multipartitioning(prob.shape, 6)
+        out, _ = MultipartExecutor(
+            plan.partitioning, prob.shape, machine
+        ).run(field, prob.schedule())
+        assert np.allclose(out, ref, atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ADIProblem(shape=(8,))
+        with pytest.raises(ValueError):
+            ADIProblem(shape=(8, 8), steps=0)
+        with pytest.raises(ValueError):
+            ADIProblem(shape=(8, 8), tau=-0.1)
+        with pytest.raises(ValueError):
+            ADIProblem(shape=(8, 8)).solve_sequential(np.zeros((4, 4)))
+
+
+class TestHigherDimensions:
+    """The paper's algorithms are for general d >= 2; exercise 4-D ADI."""
+
+    def test_4d_distributed_matches_sequential(self, machine):
+        prob = ADIProblem(shape=(6, 6, 6, 6), steps=1, tau=0.2)
+        field = random_field(prob.shape)
+        ref = prob.solve_sequential(field)
+        for p in (4, 8):
+            plan = plan_multipartitioning(prob.shape, p)
+            out, _ = MultipartExecutor(
+                plan.partitioning, prob.shape, machine
+            ).run(field, prob.schedule())
+            assert np.allclose(out, ref, atol=1e-11), p
+
+    def test_4d_plan_uses_compact_tiling_when_possible(self):
+        # p = 8 = 2^3 admits a diagonal 2x2x2x2 tiling in 4-D
+        plan = plan_multipartitioning((16, 16, 16, 16), 8)
+        assert tuple(sorted(plan.gammas)) == (2, 2, 2, 2)
+        assert plan.is_diagonal_case

@@ -1,0 +1,78 @@
+"""Tests for the NAS-SP proxy benchmark."""
+
+import numpy as np
+import pytest
+
+from repro.apps.sp import SPProblem, sp_class
+from repro.apps.workloads import CLASS_SHAPES, random_field
+from repro.core.api import plan_multipartitioning
+from repro.sweep.multipart import MultipartExecutor
+from repro.sweep.ops import PointwiseOp, SweepOp
+
+
+class TestSPProblem:
+    def test_step_structure(self):
+        prob = SPProblem(shape=(8, 8, 8))
+        sched = prob.step_schedule()
+        sweeps = [op for op in sched if isinstance(op, SweepOp)]
+        points = [op for op in sched if isinstance(op, PointwiseOp)]
+        # 3 axes x 4 sweeps (two Thomas passes for the pentadiagonal)
+        assert len(sweeps) == 12
+        assert [p.name for p in points] == ["compute_rhs", "add"]
+        # sweep axes in NAS order: xxxx yyyy zzzz
+        assert [op.axis for op in sweeps] == [0] * 4 + [1] * 4 + [2] * 4
+
+    def test_multi_step(self):
+        assert len(SPProblem(shape=(8, 8, 8), steps=3).schedule()) == 3 * 14
+
+    def test_pentadiagonal_factorization_exact(self, rng):
+        """P = T @ T: two Thomas solves really invert the pentadiagonal."""
+        prob = SPProblem(shape=(16, 8, 8))
+        rhs = rng.standard_normal((16, 8, 8))
+        for axis in range(3):
+            assert prob.pentadiagonal_residual(rhs, axis) < 1e-8
+
+    def test_class_instances(self):
+        for cls, shape in CLASS_SHAPES.items():
+            prob = sp_class(cls)
+            assert prob.shape == shape
+        assert sp_class("S", steps=7).steps == 7
+        with pytest.raises(KeyError):
+            sp_class("Z")
+
+    def test_sequential_is_finite(self):
+        prob = sp_class("S", steps=2)
+        out = prob.solve_sequential(random_field(prob.shape))
+        assert np.isfinite(out).all()
+
+    def test_distributed_matches_sequential(self, machine):
+        prob = SPProblem(shape=(12, 12, 12), steps=1)
+        field = random_field(prob.shape)
+        ref = prob.solve_sequential(field)
+        for p in (4, 6, 9):
+            plan = plan_multipartitioning(prob.shape, p)
+            out, _ = MultipartExecutor(
+                plan.partitioning, prob.shape, machine
+            ).run(field, prob.schedule())
+            assert np.allclose(out, ref, atol=1e-11), p
+
+    def test_distributed_on_class_s(self, machine):
+        prob = sp_class("S", steps=1)
+        field = random_field(prob.shape)
+        ref = prob.solve_sequential(field)
+        plan = plan_multipartitioning(prob.shape, 8)
+        out, res = MultipartExecutor(
+            plan.partitioning, prob.shape, machine
+        ).run(field, prob.schedule())
+        assert np.allclose(out, ref, atol=1e-11)
+        assert res.message_count > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SPProblem(shape=(8, 8))
+        with pytest.raises(ValueError):
+            SPProblem(shape=(8, 8, 8), steps=0)
+        with pytest.raises(ValueError):
+            SPProblem(shape=(8, 8, 8), a=-2.0, b=1.0)
+        with pytest.raises(ValueError):
+            SPProblem(shape=(8, 8, 8)).solve_sequential(np.zeros((2, 2, 2)))

@@ -1,0 +1,50 @@
+"""Tests for problem classes and input generators."""
+
+import pytest
+
+from repro.apps.workloads import (
+    CLASS_SHAPES,
+    anisotropic_shape,
+    problem_shape,
+    random_field,
+)
+
+
+class TestClasses:
+    def test_known_classes(self):
+        assert problem_shape("B") == (102, 102, 102)
+        assert problem_shape("s") == (12, 12, 12)
+
+    def test_unknown_class(self):
+        with pytest.raises(KeyError):
+            problem_shape("X")
+
+    def test_sizes_ascend(self):
+        sizes = [s[0] for s in CLASS_SHAPES.values()]
+        assert sizes == sorted(sizes)
+
+
+class TestRandomField:
+    def test_deterministic(self):
+        a = random_field((4, 4), seed=1)
+        b = random_field((4, 4), seed=1)
+        c = random_field((4, 4), seed=2)
+        assert (a == b).all()
+        assert not (a == c).all()
+
+    def test_shape_and_dtype(self):
+        f = random_field((3, 5, 7))
+        assert f.shape == (3, 5, 7)
+        assert f.dtype.kind == "f"
+
+
+class TestAnisotropic:
+    def test_default(self):
+        assert anisotropic_shape(128) == (128, 128, 32)
+
+    def test_flat_axis(self):
+        assert anisotropic_shape(100, ratio=5, flat_axis=0) == (20, 100, 100)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            anisotropic_shape(2, ratio=4)

@@ -1,0 +1,27 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simmpi.machine import MachineModel
+
+
+@pytest.fixture
+def machine() -> MachineModel:
+    """A small, generic machine model for executor tests (timing constants
+    chosen so compute and communication are both visible in makespans)."""
+    return MachineModel(
+        name="test",
+        compute_per_point=1.0e-7,
+        overhead=5.0e-6,
+        latency=1.0e-5,
+        bandwidth=1.0e8,
+        tile_overhead=1.0e-6,
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

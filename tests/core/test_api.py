@@ -1,0 +1,67 @@
+"""Tests for the top-level planning API."""
+
+import pytest
+
+from repro.core.api import plan_multipartitioning
+from repro.core.cost import CostModel, Objective
+from repro.core.properties import (
+    has_balance_property,
+    has_neighbor_property,
+)
+
+
+class TestPlanMultipartitioning:
+    def test_basic_plan(self):
+        plan = plan_multipartitioning((64, 64, 64), 16)
+        assert plan.nprocs == 16
+        assert plan.gammas == (4, 4, 4)
+        assert plan.is_diagonal_case
+        grid = plan.partitioning.owner
+        assert has_balance_property(grid, 16)
+        assert has_neighbor_property(grid)
+
+    def test_generalized_plan(self):
+        plan = plan_multipartitioning((102, 102, 102), 50)
+        assert tuple(sorted(plan.gammas)) == (5, 10, 10)
+        assert not plan.is_diagonal_case
+        assert plan.partitioning.tiles_per_rank == 10
+
+    def test_prime_p(self):
+        plan = plan_multipartitioning((64, 64, 64), 7)
+        assert tuple(sorted(plan.gammas)) == (1, 7, 7)
+        assert has_balance_property(plan.partitioning.owner, 7)
+
+    def test_p1(self):
+        plan = plan_multipartitioning((16, 16), 1)
+        assert plan.gammas == (1, 1)
+        assert plan.partitioning.tiles_per_rank == 1
+
+    def test_describe_mentions_key_facts(self):
+        plan = plan_multipartitioning((102, 102, 102), 50)
+        text = plan.describe()
+        assert "50" in text
+        assert "generalized" in text
+        d2 = plan_multipartitioning((64, 64, 64), 16).describe()
+        assert "diagonal" in d2
+
+    def test_objective_changes_plan(self):
+        shape = (128, 128, 16)
+        vol = plan_multipartitioning(shape, 4, objective=Objective.VOLUME)
+        assert vol.gammas[2] == 1
+
+    def test_custom_model(self):
+        # latency-free, bandwidth-dominated: same as volume objective
+        model = CostModel(k2=0.0, k3=1.0)
+        plan = plan_multipartitioning((128, 128, 16), 4, model)
+        assert plan.gammas[2] == 1
+
+    def test_mapping_consistent_with_partitioning(self):
+        plan = plan_multipartitioning((60, 60, 60), 12)
+        grid = plan.mapping.rank_grid(plan.gammas)
+        assert (grid == plan.partitioning.owner).all()
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            plan_multipartitioning((64,), 4)
+        with pytest.raises(ValueError):
+            plan_multipartitioning((64, 64), -1)

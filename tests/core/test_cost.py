@@ -1,0 +1,109 @@
+"""Tests for the Section-3.1 objective function."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.cost import (
+    CostModel,
+    NetworkScaling,
+    Objective,
+    partition_cost,
+    sweep_time,
+    total_sweep_time,
+)
+
+
+class TestCostModel:
+    def test_lambda_formula(self):
+        m = CostModel(k1=0.0, k2=2.0, k3=4.0, scaling=NetworkScaling.BUS)
+        shape = (10, 20)
+        lams = m.lambdas(shape, p=5)
+        eta = 200
+        assert lams == (2.0 + 4.0 * eta / 10, 2.0 + 4.0 * eta / 20)
+
+    def test_k3_scaling(self):
+        scal = CostModel(k3=8.0, scaling=NetworkScaling.SCALABLE)
+        bus = CostModel(k3=8.0, scaling=NetworkScaling.BUS)
+        assert scal.K3(4) == 2.0
+        assert bus.K3(4) == 8.0
+        assert scal.K3(1) == bus.K3(1)
+
+    def test_rejects_negative_constants(self):
+        with pytest.raises(ValueError):
+            CostModel(k1=-1.0)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            CostModel().K3(0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            CostModel().lambdas((0, 3), 2)
+
+
+class TestPartitionCost:
+    def test_full_objective(self):
+        m = CostModel(k2=1.0, k3=0.0)
+        # lambda_i = 1 for all i -> objective is sum(gammas)
+        assert partition_cost((4, 4, 2), (8, 8, 8), 8, m) == pytest.approx(10)
+
+    def test_phases_objective(self):
+        m = CostModel()
+        c = partition_cost((4, 4, 2), (8, 8, 8), 8, m, Objective.PHASES)
+        assert c == 10.0
+
+    def test_volume_objective(self):
+        m = CostModel()
+        c = partition_cost((4, 2), (8, 4), 4, m, Objective.VOLUME)
+        assert c == pytest.approx(4 / 8 + 2 / 4)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            partition_cost((2, 2), (4, 4, 4), 4, CostModel())
+
+    @given(
+        st.integers(1, 8),
+        st.integers(1, 8),
+        st.integers(2, 16),
+    )
+    def test_monotone_in_gammas(self, g1, g2, p):
+        """The objective strictly increases when any gamma increases (the
+        fact behind Lemma 1)."""
+        m = CostModel()
+        shape = (32, 24, 16)
+        base = partition_cost((g1, g2, 2), shape, p, m)
+        assert partition_cost((g1 + 1, g2, 2), shape, p, m) > base
+        assert partition_cost((g1, g2 + 1, 2), shape, p, m) > base
+
+
+class TestSweepTime:
+    def test_single_slab_has_no_comm(self):
+        m = CostModel(k1=1.0, k2=100.0, k3=100.0)
+        shape = (8, 8)
+        t = sweep_time(1, shape, axis=0, p=4, model=m)
+        assert t == pytest.approx(64 / 4)
+
+    def test_phase_count_term(self):
+        m = CostModel(k1=0.0, k2=1.0, k3=0.0)
+        t = sweep_time(5, (8, 8), axis=0, p=4, model=m)
+        assert t == pytest.approx(4.0)  # (gamma - 1) * k2
+
+    def test_total_is_sum(self):
+        m = CostModel()
+        shape = (16, 16, 16)
+        gammas = (4, 4, 2)
+        total = total_sweep_time(gammas, shape, 8, m)
+        parts = sum(
+            sweep_time(g, shape, i, 8, m) for i, g in enumerate(gammas)
+        )
+        assert total == pytest.approx(parts)
+
+    def test_anisotropy_weights_volume(self):
+        """Section 3.1 remark: cutting a long dimension communicates less
+        per phase than cutting a short one."""
+        m = CostModel(k2=0.0)
+        shape = (100, 100, 10)
+        t_long = sweep_time(4, shape, axis=0, p=4, model=m)
+        t_short = sweep_time(4, shape, axis=2, p=4, model=m)
+        assert t_long < t_short

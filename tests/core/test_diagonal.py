@@ -1,0 +1,126 @@
+"""Tests for the classical multipartitionings of Section 2."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagonal import (
+    diagonal_3d,
+    diagonal_applicable,
+    diagonal_nd,
+    gray_code_3d,
+    latin_square_2d,
+)
+from repro.core.properties import (
+    has_balance_property,
+    has_neighbor_property,
+)
+
+
+class TestLatinSquare2D:
+    def test_formula(self):
+        grid = latin_square_2d(4)
+        for i in range(4):
+            for j in range(4):
+                assert grid[i, j] == (i - j) % 4
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+    def test_properties(self, p):
+        grid = latin_square_2d(p)
+        assert has_balance_property(grid, p)
+        assert has_neighbor_property(grid, periodic=True)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            latin_square_2d(0)
+
+
+class TestDiagonal3D:
+    def test_figure1_formula(self):
+        """theta(i,j,k) = ((i-k) mod 4)*4 + ((j-k) mod 4) for p=16."""
+        grid = diagonal_3d(16)
+        for i in range(4):
+            for j in range(4):
+                for k in range(4):
+                    assert grid[i, j, k] == ((i - k) % 4) * 4 + ((j - k) % 4)
+
+    def test_figure1_layer0(self):
+        # the k=0 face of Figure 1 enumerates processors row-major
+        grid = diagonal_3d(16)
+        assert grid[:, :, 0].ravel().tolist() == list(range(16))
+
+    @pytest.mark.parametrize("p", [1, 4, 9, 16, 25])
+    def test_properties(self, p):
+        grid = diagonal_3d(p)
+        assert has_balance_property(grid, p)
+        assert has_neighbor_property(grid, periodic=True)
+        # wrapped diagonals: each processor has exactly sqrt(p) tiles
+        q = round(p**0.5)
+        assert (np.bincount(grid.ravel()) == q).all()
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            diagonal_3d(8)
+
+
+class TestDiagonalND:
+    def test_matches_2d(self):
+        assert (diagonal_nd(5, 2) == latin_square_2d(5)).all()
+
+    def test_matches_3d(self):
+        assert (diagonal_nd(16, 3) == diagonal_3d(16)).all()
+
+    @pytest.mark.parametrize("p,d", [(8, 4), (27, 4), (16, 5)])
+    def test_higher_dims(self, p, d):
+        grid = diagonal_nd(p, d)
+        assert grid.ndim == d
+        assert has_balance_property(grid, p)
+        assert has_neighbor_property(grid, periodic=True)
+
+    def test_rejects_inapplicable(self):
+        with pytest.raises(ValueError):
+            diagonal_nd(10, 3)
+
+
+class TestApplicability:
+    def test_values(self):
+        assert diagonal_applicable(16, 3)
+        assert not diagonal_applicable(8, 3)
+        assert diagonal_applicable(8, 4)
+        assert diagonal_applicable(7, 2)  # 2D works for any p
+
+    def test_rejects_d1(self):
+        with pytest.raises(ValueError):
+            diagonal_applicable(4, 1)
+
+
+class TestGrayCode:
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_is_multipartitioning(self, n):
+        grid = gray_code_3d(n)
+        p = 4**n
+        assert has_balance_property(grid, p)
+        assert has_neighbor_property(grid, periodic=True)
+
+    def test_hypercube_adjacency(self):
+        """Bruno-Cappello: tiles adjacent along i or j map to processors one
+        hypercube hop apart; along k exactly two hops (Section 2)."""
+        n = 2
+        grid = gray_code_3d(n)
+        q = 2**n
+
+        def hops(a, b):
+            return bin(int(a) ^ int(b)).count("1")
+
+        for i in range(q - 1):
+            for j in range(q):
+                for k in range(q):
+                    assert hops(grid[i, j, k], grid[i + 1, j, k]) == 1
+                    assert hops(grid[j, i, k], grid[j, i + 1, k]) == 1
+        for k in range(q - 1):
+            for i in range(q):
+                for j in range(q):
+                    assert hops(grid[i, j, k], grid[i, j, k + 1]) == 2
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            gray_code_3d(0)

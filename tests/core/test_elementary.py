@@ -1,0 +1,141 @@
+"""Tests for elementary-partitioning enumeration (Section 3.2 examples)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.elementary import (
+    count_elementary_partitionings,
+    elementary_partitionings,
+    elementary_partitionings_unordered,
+    is_elementary_partitioning,
+    is_valid_partitioning,
+)
+from repro.core.factorization import product
+
+
+class TestValidity:
+    def test_paper_definition(self):
+        # p must divide the product of the gammas excluding each one
+        assert is_valid_partitioning((4, 4, 2), 8)
+        assert is_valid_partitioning((8, 8, 1), 8)
+        assert not is_valid_partitioning((8, 2, 2), 8)  # slab 8*2=16, ok;
+        # ... but excluding gamma_1 = 8 leaves 4, not divisible by 8
+
+    def test_trivial_p1(self):
+        assert is_valid_partitioning((1, 1, 1), 1)
+        assert is_valid_partitioning((3, 2), 1)
+
+    def test_diagonal_always_valid(self):
+        for p in (2, 3, 4, 10):
+            for d in (2, 3, 4):
+                assert is_valid_partitioning((p,) * d, p)
+
+    def test_rejects_nonpositive_entries(self):
+        assert not is_valid_partitioning((0, 4), 2)
+        assert not is_valid_partitioning((), 2)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            is_valid_partitioning((2, 2), 0)
+
+    @given(
+        st.lists(st.integers(1, 12), min_size=2, max_size=4),
+        st.integers(1, 30),
+    )
+    def test_equivalent_formulation(self, gammas, p):
+        gammas = tuple(gammas)
+        total = product(gammas)
+        expected = all((total // g) % p == 0 for g in gammas)
+        assert is_valid_partitioning(gammas, p) == expected
+
+
+class TestPaperExamples:
+    def test_p8_d3(self):
+        got = elementary_partitionings_unordered(8, 3)
+        assert got == [(8, 8, 1), (4, 4, 2)]
+
+    def test_p30_d3(self):
+        got = set(elementary_partitionings_unordered(30, 3))
+        expected = {
+            (15, 10, 6),
+            (30, 15, 2),
+            (30, 10, 3),
+            (30, 6, 5),
+            (30, 30, 1),
+        }
+        assert got == expected
+
+    def test_p4_d3(self):
+        # perfect square: the compact 2x2x2 plus the degenerate 4x4x1
+        got = set(elementary_partitionings_unordered(4, 3))
+        assert (2, 2, 2) in got
+        assert (4, 4, 1) in got
+
+    def test_2d_always_diagonal(self):
+        # in 2D the only elementary partitioning is p x p (optimal latin
+        # square, Section 2)
+        for p in (1, 2, 6, 12):
+            assert elementary_partitionings_unordered(p, 2) == [(p, p)]
+
+
+class TestEnumeration:
+    def test_p1(self):
+        assert list(elementary_partitionings(1, 3)) == [(1, 1, 1)]
+
+    def test_count_function_consistent(self):
+        for p in (1, 2, 8, 12, 30, 60):
+            for d in (2, 3, 4):
+                assert count_elementary_partitionings(p, d) == len(
+                    list(elementary_partitionings(p, d))
+                )
+
+    def test_no_duplicates(self):
+        for p in (8, 12, 30):
+            seq = list(elementary_partitionings(p, 3))
+            assert len(seq) == len(set(seq))
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            list(elementary_partitionings(4, 1))
+        with pytest.raises(ValueError):
+            list(elementary_partitionings(0, 3))
+
+    @settings(deadline=None)
+    @given(st.integers(1, 48), st.integers(2, 4))
+    def test_all_generated_are_valid_and_elementary(self, p, d):
+        for gammas in elementary_partitionings(p, d):
+            assert is_valid_partitioning(gammas, p)
+            assert is_elementary_partitioning(gammas, p)
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.integers(2, 24))
+    def test_minimal_valid_partitionings_are_generated(self, p):
+        """Oracle cross-check in 3-D: every valid partitioning whose
+        componentwise-smaller variants are all invalid must be elementary
+        and must appear in the enumeration."""
+        d = 3
+        generated = set(elementary_partitionings(p, d))
+        limit = p
+        for gammas in itertools.product(range(1, limit + 1), repeat=d):
+            if not is_valid_partitioning(gammas, p):
+                continue
+            if is_elementary_partitioning(gammas, p):
+                assert gammas in generated
+
+
+class TestIsElementary:
+    def test_multiples_are_not_elementary(self):
+        # 8x8x2 is valid for p=8 but is a paving multiple of 4x4x1... it is
+        # not minimal: 8 appears 3+3 times with m=3 -> total 2*3+1 = 7 != r+m
+        assert is_valid_partitioning((8, 8, 2), 8)
+        assert not is_elementary_partitioning((8, 8, 2), 8)
+
+    def test_foreign_factor_rejected(self):
+        # contains a prime not dividing p
+        assert not is_elementary_partitioning((3, 8, 8), 8)
+
+    def test_invalid_rejected(self):
+        assert not is_elementary_partitioning((2, 2, 2), 16)

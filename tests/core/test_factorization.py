@@ -1,0 +1,128 @@
+"""Unit and property tests for integer factorization utilities."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.factorization import (
+    divisors,
+    factor_multiset,
+    gcd_many,
+    integer_nth_root,
+    is_perfect_power,
+    is_prime,
+    prime_factorization,
+    product,
+)
+
+
+class TestPrimeFactorization:
+    def test_small_values(self):
+        assert prime_factorization(1) == []
+        assert prime_factorization(2) == [(2, 1)]
+        assert prime_factorization(12) == [(2, 2), (3, 1)]
+        assert prime_factorization(30) == [(2, 1), (3, 1), (5, 1)]
+        assert prime_factorization(1024) == [(2, 10)]
+
+    def test_large_prime(self):
+        assert prime_factorization(7919) == [(7919, 1)]
+
+    def test_primes_ascending(self):
+        facs = prime_factorization(2 * 3 * 5 * 7 * 11)
+        primes = [p for p, _ in facs]
+        assert primes == sorted(primes)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            prime_factorization(0)
+        with pytest.raises(ValueError):
+            prime_factorization(-4)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            prime_factorization(4.0)  # type: ignore[arg-type]
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    def test_reconstructs_value(self, n):
+        facs = prime_factorization(n)
+        assert product(p**r for p, r in facs) == n
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    def test_factors_are_prime(self, n):
+        for p, r in prime_factorization(n):
+            assert is_prime(p)
+            assert r >= 1
+
+
+class TestDivisors:
+    def test_examples(self):
+        assert divisors(1) == [1]
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert divisors(49) == [1, 7, 49]
+
+    @given(st.integers(min_value=1, max_value=5000))
+    def test_all_divide(self, n):
+        ds = divisors(n)
+        assert all(n % d == 0 for d in ds)
+        assert ds[0] == 1 and ds[-1] == n
+        assert ds == sorted(set(ds))
+
+
+class TestIsPrime:
+    def test_small(self):
+        primes_under_30 = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+        for n in range(-2, 30):
+            assert is_prime(n) == (n in primes_under_30)
+
+
+class TestIntegerNthRoot:
+    def test_exact(self):
+        assert integer_nth_root(64, 2) == 8
+        assert integer_nth_root(64, 3) == 4
+        assert integer_nth_root(1, 5) == 1
+        assert integer_nth_root(0, 3) == 0
+
+    def test_inexact_floors(self):
+        assert integer_nth_root(63, 2) == 7
+        assert integer_nth_root(65, 2) == 8
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            integer_nth_root(-1, 2)
+        with pytest.raises(ValueError):
+            integer_nth_root(4, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=10**12),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_definition(self, n, k):
+        x = integer_nth_root(n, k)
+        assert x**k <= n
+        assert (x + 1) ** k > n
+
+
+class TestIsPerfectPower:
+    def test_examples(self):
+        assert is_perfect_power(49, 2)
+        assert not is_perfect_power(50, 2)
+        assert is_perfect_power(27, 3)
+        assert is_perfect_power(1, 7)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            is_perfect_power(0, 2)
+
+
+class TestMisc:
+    def test_product_empty_is_one(self):
+        assert product([]) == 1
+
+    def test_gcd_many(self):
+        assert gcd_many(12, 18, 30) == 6
+        assert gcd_many(7) == 7
+
+    def test_factor_multiset(self):
+        assert factor_multiset(12) == {2: 2, 3: 1}

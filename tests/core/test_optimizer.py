@@ -1,0 +1,195 @@
+"""Tests for the optimal-partitioning search and its extensions."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import CostModel, Objective, partition_cost
+from repro.core.elementary import is_valid_partitioning
+from repro.core.optimizer import (
+    best_processor_count,
+    greedy_prime_power,
+    optimal_partitioning,
+)
+
+
+class TestOptimalPartitioning:
+    def test_result_is_valid(self):
+        for p in (1, 2, 7, 8, 12, 30, 50):
+            choice = optimal_partitioning((64, 64, 64), p)
+            assert is_valid_partitioning(choice.gammas, p)
+            assert choice.p == p
+
+    def test_square_p_is_compact_diagonal(self):
+        for p in (4, 9, 16, 25, 49):
+            choice = optimal_partitioning((102, 102, 102), p)
+            q = round(p**0.5)
+            assert tuple(sorted(choice.gammas)) == (q, q, q)
+            assert choice.is_compact()
+
+    def test_paper_conclusion_50(self):
+        choice = optimal_partitioning((102, 102, 102), 50)
+        assert tuple(sorted(choice.gammas)) == (5, 10, 10)
+        assert not choice.is_compact()
+
+    def test_2d_latin_square(self):
+        for p in (3, 6, 10):
+            choice = optimal_partitioning((64, 64), p)
+            assert choice.gammas == (p, p)
+            assert choice.is_compact()
+
+    def test_anisotropic_remark(self):
+        """Section 3.1: with eta_1, eta_2 >= 4 * eta_3 and p = 4, a 2-D
+        partitioning 4x4x1 beats the classical 2x2x2 under the volume
+        objective."""
+        shape = (128, 128, 16)
+        choice = optimal_partitioning(
+            shape, 4, objective=Objective.VOLUME
+        )
+        assert tuple(sorted(choice.gammas)) == (1, 4, 4)
+        assert choice.gammas[2] == 1  # the short axis stays uncut
+
+    def test_isotropic_square_prefers_3d(self):
+        choice = optimal_partitioning(
+            (128, 128, 128), 4, objective=Objective.VOLUME
+        )
+        assert tuple(sorted(choice.gammas)) == (2, 2, 2)
+
+    def test_larger_dimension_gets_more_cuts(self):
+        # full objective: volume term pushes cuts onto long axes
+        model = CostModel(k1=0.0, k2=0.0, k3=1.0)
+        choice = optimal_partitioning((200, 50, 50), 8, model)
+        assert choice.gammas[0] == max(choice.gammas)
+
+    def test_brute_force_optimality_small(self):
+        """No valid partitioning (searched exhaustively) beats the chosen
+        one under the same objective."""
+        model = CostModel()
+        for p in (4, 6, 8, 12):
+            shape = (40, 30, 20)
+            choice = optimal_partitioning(shape, p, model)
+            best = min(
+                partition_cost(g, shape, p, model)
+                for g in itertools.product(range(1, 2 * p + 1), repeat=3)
+                if is_valid_partitioning(g, p)
+            )
+            assert choice.cost == pytest.approx(best)
+
+    def test_candidates_examined_positive(self):
+        choice = optimal_partitioning((16, 16, 16), 30)
+        assert choice.candidates_examined == 27  # 3 distributions^3 factors
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            optimal_partitioning((16,), 4)
+        with pytest.raises(ValueError):
+            optimal_partitioning((16, 16), 0)
+        with pytest.raises(ValueError):
+            optimal_partitioning((16, -1), 4)
+
+    @settings(deadline=None)
+    @given(st.integers(1, 40), st.integers(2, 4))
+    def test_always_returns_valid(self, p, d):
+        choice = optimal_partitioning((32,) * d, p)
+        assert is_valid_partitioning(choice.gammas, p)
+
+
+class TestCompactness:
+    def test_tiles_per_processor(self):
+        choice = optimal_partitioning((102, 102, 102), 50)
+        assert choice.tiles_total == 500
+        assert choice.tiles_per_processor == 10
+
+    def test_compact_definitions(self):
+        assert optimal_partitioning((64, 64, 64), 16).is_compact()
+        assert not optimal_partitioning((64, 64, 64), 24).is_compact()
+
+
+class TestGreedyPrimePower:
+    def test_matches_exhaustive_phase_count(self):
+        for p, d in [(8, 3), (16, 3), (32, 3), (27, 4), (64, 4)]:
+            greedy = greedy_prime_power(p, d)
+            exact = optimal_partitioning(
+                (64,) * d, p, objective=Objective.PHASES
+            )
+            assert sum(greedy) == sum(exact.gammas)
+
+    def test_valid(self):
+        for p, d in [(2, 2), (9, 3), (128, 3), (3**5, 4)]:
+            assert is_valid_partitioning(greedy_prime_power(p, d), p)
+
+    def test_rejects_composite(self):
+        with pytest.raises(ValueError):
+            greedy_prime_power(12, 3)
+
+
+class TestBestProcessorCount:
+    def test_never_exceeds_requested(self):
+        res = best_processor_count((102, 102, 102), 50)
+        assert res.p_used <= 50
+        assert res.p_requested == 50
+
+    def test_full_count_when_compact(self):
+        res = best_processor_count((102, 102, 102), 49)
+        assert res.p_used == 49
+
+    def test_p1(self):
+        res = best_processor_count((16, 16), 1)
+        assert res.p_used == 1
+
+    def test_rejects_bad_pmin(self):
+        with pytest.raises(ValueError):
+            best_processor_count((16, 16, 16), 4, p_min=9)
+
+
+class TestOptimizerInvariants:
+    """Structural invariants checked with hypothesis."""
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.integers(1, 30))
+    def test_never_worse_than_diagonal(self, p):
+        """When a compact diagonal partitioning exists, the optimizer's
+        choice costs no more than it."""
+        from repro.core.diagonal import diagonal_applicable
+        from repro.core.factorization import integer_nth_root
+
+        shape = (64, 64, 64)
+        model = CostModel()
+        choice = optimal_partitioning(shape, p, model)
+        if diagonal_applicable(p, 3):
+            q = integer_nth_root(p, 2)
+            diag_cost = partition_cost((q, q, q), shape, p, model)
+            assert choice.cost <= diag_cost + 1e-15
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.integers(1, 24),
+        st.permutations([32, 48, 80]),
+    )
+    def test_permutation_equivariance(self, p, shape):
+        """Permuting the array shape permutes the optimal tiling (same
+        cost): the search must not prefer any axis intrinsically."""
+        shape = tuple(shape)
+        base = optimal_partitioning((32, 48, 80), p)
+        permuted = optimal_partitioning(shape, p)
+        assert permuted.cost == pytest.approx(base.cost)
+        assert sorted(permuted.gammas) == sorted(base.gammas)
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.integers(2, 24))
+    def test_cost_decreasing_in_problem_symmetric_p(self, p):
+        """More processors never increase the partitioning-dependent cost
+        floor... not true in general for the objective term alone, but the
+        modeled total time must not increase when doubling p on a
+        compute-dominated machine."""
+        from repro.core.cost import total_sweep_time
+
+        model = CostModel(k1=1e-6, k2=1e-8, k3=1e-10)
+        shape = (64, 64, 64)
+        c1 = optimal_partitioning(shape, p, model)
+        c2 = optimal_partitioning(shape, 2 * p, model)
+        t1 = total_sweep_time(c1.gammas, shape, p, model)
+        t2 = total_sweep_time(c2.gammas, shape, 2 * p, model)
+        assert t2 <= t1 * 1.001

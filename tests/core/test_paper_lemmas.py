@@ -1,0 +1,156 @@
+"""The paper's lemmas, checked mechanically (tests as theorems).
+
+Each test states one lemma from the paper and verifies it by exhaustive or
+randomized enumeration over the ranges the library targets.  These are the
+foundations the omitted proofs rest on; breaking any of them would break
+the construction silently, so they are pinned here.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import CostModel, partition_cost
+from repro.core.elementary import (
+    elementary_partitionings,
+    is_valid_partitioning,
+)
+from repro.core.factorization import prime_factorization
+from repro.core.modmap import build_modular_mapping, modulus_vector
+from repro.core.optimizer import optimal_partitioning
+from repro.core.properties import (
+    is_equally_many_to_one,
+    is_one_to_one,
+)
+
+
+def multiplicity(n: int, prime: int) -> int:
+    count = 0
+    while n % prime == 0:
+        n //= prime
+        count += 1
+    return count
+
+
+class TestLemma1:
+    """Lemma 1: in an optimal partitioning, each prime factor alpha_j of p
+    (multiplicity r_j) appears exactly r_j + m_j times across the gammas,
+    where m_j is its max per-gamma multiplicity, attained at least twice."""
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        st.integers(2, 40),
+        st.tuples(
+            st.integers(16, 128), st.integers(16, 128), st.integers(16, 128)
+        ),
+    )
+    def test_optimal_satisfies_lemma1(self, p, shape):
+        choice = optimal_partitioning(shape, p, CostModel())
+        for prime, r in prime_factorization(p):
+            exps = [multiplicity(g, prime) for g in choice.gammas]
+            m = max(exps)
+            assert sum(exps) == r + m
+            assert sum(1 for e in exps if e == m) >= 2
+
+    def test_violators_are_strictly_worse(self):
+        """The mechanism: any valid partitioning violating Lemma 1 is
+        dominated by some elementary one (brute force, p = 8, d = 3)."""
+        p, shape = 8, (40, 40, 40)
+        model = CostModel()
+        elementary_best = min(
+            partition_cost(g, shape, p, model)
+            for g in elementary_partitionings(p, 3)
+        )
+        for g in itertools.product(range(1, 17), repeat=3):
+            if not is_valid_partitioning(g, p):
+                continue
+            if tuple(g) in set(elementary_partitionings(p, 3)):
+                continue
+            assert partition_cost(g, shape, p, model) >= elementary_best
+
+
+class TestLemma2:
+    """Lemma 2: a modular mapping has the load-balancing property for a box
+    iff each column-deleted mapping M[i] is equally-many-to-one from the
+    reduced box — checking only the zero-slices suffices."""
+
+    @pytest.mark.parametrize(
+        "b,p", [((4, 4, 2), 8), ((2, 3, 6), 6), ((6, 10, 15), 30)]
+    )
+    def test_zero_slice_suffices(self, b, p):
+        mm = build_modular_mapping(b, p)
+        grid = mm.rank_grid(b)
+        for axis in range(len(b)):
+            zero_slice = np.take(grid, 0, axis=axis)
+            zero_balanced = is_equally_many_to_one(zero_slice, p)
+            all_balanced = all(
+                is_equally_many_to_one(np.take(grid, k, axis=axis), p)
+                for k in range(b[axis])
+            )
+            # linearity: the zero slice's balance determines every slice's
+            assert zero_balanced == all_balanced
+            assert zero_balanced
+
+
+class TestLemma3:
+    """Lemma 3: a mapping one-to-one from box b' is equally-many-to-one
+    from any componentwise multiple of b'."""
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        st.integers(1, 4),
+        st.integers(1, 4),
+        st.integers(-3, 3),
+        st.integers(1, 3),
+        st.integers(1, 3),
+    )
+    def test_multiples_stay_balanced(self, m1, m2, offdiag, k1, k2):
+        """For any modular mapping one-to-one on the box b' = m (unit
+        lower-triangular M guarantees that), every multiple (k1*m1, k2*m2)
+        is equally-many-to-one."""
+        from repro.core.modmap import ModularMapping
+
+        mm = ModularMapping(
+            matrix=np.array([[1, 0], [offdiag, 1]], dtype=np.int64),
+            moduli=(m1, m2),
+        )
+        base_grid = mm.rank_grid((m1, m2))
+        assert is_one_to_one(base_grid, m1 * m2)  # triangular, unit diag
+        big_grid = mm.rank_grid((m1 * k1, m2 * k2))
+        assert is_equally_many_to_one(big_grid, m1 * m2)
+
+    def test_non_multiple_boxes_can_break_balance(self):
+        """The multiple-of-b' hypothesis matters: a non-multiple box need
+        not be equally-many-to-one."""
+        from repro.core.modmap import ModularMapping
+
+        mm = ModularMapping(
+            matrix=np.array([[1, 0], [0, 1]], dtype=np.int64),
+            moduli=(2, 2),
+        )
+        grid = mm.rank_grid((3, 2))  # 3 is not a multiple of m1 = 2
+        assert not is_equally_many_to_one(grid, 4)
+
+
+class TestLemma4Machinery:
+    """Lemma 4's precondition in the construction: m_d divides b_d, and the
+    telescoping modulus product equals p — for every valid partitioning."""
+
+    @settings(deadline=None, max_examples=60)
+    @given(st.integers(1, 48), st.integers(2, 4))
+    def test_modulus_vector_invariants(self, p, d):
+        for b in itertools.islice(elementary_partitionings(p, d), 20):
+            m = modulus_vector(b, p)
+            assert b[-1] % m[-1] == 0  # m_d | b_d
+            prod = 1
+            for v in m:
+                prod *= v
+            assert prod == p
+            assert m[0] == 1
+            # each m_i divides b_i: needed so x_i is free modulo m_i within
+            # the box (the formula-enumeration property)
+            for mi, bi in zip(m, b):
+                assert bi % mi == 0

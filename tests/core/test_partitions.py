@@ -1,0 +1,124 @@
+"""Tests for the Figure-2 per-factor distribution generator."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.partitions import (
+    count_factor_distributions,
+    factor_distributions,
+    is_lemma1_distribution,
+    min_max_multiplicity,
+)
+
+
+def brute_force_distributions(r: int, d: int) -> set[tuple[int, ...]]:
+    """Oracle: all exponent tuples satisfying the Lemma-1 conditions, found
+    by raw enumeration up to exponent r per bin."""
+    out = set()
+    for combo in itertools.product(range(r + 1), repeat=d):
+        if is_lemma1_distribution(combo, r):
+            out.add(combo)
+    return out
+
+
+class TestMinMaxMultiplicity:
+    def test_values(self):
+        assert min_max_multiplicity(1, 2) == 1
+        assert min_max_multiplicity(3, 3) == 2
+        assert min_max_multiplicity(4, 3) == 2
+        assert min_max_multiplicity(5, 3) == 3
+        assert min_max_multiplicity(6, 4) == 2
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            min_max_multiplicity(1, 1)
+        with pytest.raises(ValueError):
+            min_max_multiplicity(0, 3)
+
+
+class TestFactorDistributions:
+    def test_paper_p8_d3(self):
+        """p = 2**3, d = 3: exponent patterns of 4x4x2 and 8x8x1."""
+        got = set(factor_distributions(3, 3))
+        expected = set(itertools.permutations((2, 2, 1))) | set(
+            itertools.permutations((3, 3, 0))
+        )
+        assert got == expected
+
+    def test_single_factor_d2(self):
+        # d=2: both bins must hold exactly r (each gamma must be p)
+        for r in range(1, 6):
+            assert set(factor_distributions(r, 2)) == {(r, r)}
+
+    def test_r1_general_d(self):
+        # one occurrence: exactly two bins hold the factor once
+        got = set(factor_distributions(1, 4))
+        expected = {
+            tuple(1 if i in (a, b) else 0 for i in range(4))
+            for a in range(4)
+            for b in range(a + 1, 4)
+        }
+        assert got == expected
+
+    def test_no_duplicates(self):
+        for r, d in [(3, 3), (4, 3), (5, 4), (6, 3)]:
+            seq = list(factor_distributions(r, d))
+            assert len(seq) == len(set(seq))
+
+    @given(
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=2, max_value=5),
+    )
+    def test_matches_brute_force(self, r, d):
+        assert set(factor_distributions(r, d)) == brute_force_distributions(
+            r, d
+        )
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=2, max_value=5),
+    )
+    def test_all_outputs_satisfy_lemma1(self, r, d):
+        for dist in factor_distributions(r, d):
+            assert is_lemma1_distribution(dist, r)
+            assert len(dist) == d
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            list(factor_distributions(0, 3))
+        with pytest.raises(ValueError):
+            list(factor_distributions(2, 1))
+
+
+class TestIsLemma1Distribution:
+    def test_accepts(self):
+        assert is_lemma1_distribution((2, 2, 1), 3)
+        assert is_lemma1_distribution((3, 3, 0), 3)
+        assert is_lemma1_distribution((1, 1), 1)
+
+    def test_rejects_single_max(self):
+        # total r+m but max attained once only
+        assert not is_lemma1_distribution((3, 2, 1), 3 + 3 - 3)
+
+    def test_rejects_wrong_total(self):
+        assert not is_lemma1_distribution((1, 1, 1), 3)
+        assert not is_lemma1_distribution((3, 3, 3), 3)
+
+    def test_rejects_negative_or_short(self):
+        assert not is_lemma1_distribution((2,), 2)
+        assert not is_lemma1_distribution((2, -1, 3), 2)
+
+
+class TestCounting:
+    def test_count_matches_generation(self):
+        for r, d in [(1, 3), (3, 3), (5, 3), (4, 4), (2, 5)]:
+            assert count_factor_distributions(r, d) == len(
+                list(factor_distributions(r, d))
+            )
+
+    def test_counts_grow_with_r(self):
+        counts = [count_factor_distributions(r, 3) for r in range(1, 9)]
+        assert counts == sorted(counts)

@@ -1,0 +1,67 @@
+"""Tests for plan/mapping JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.core.api import plan_multipartitioning
+from repro.core.modmap import build_modular_mapping
+from repro.core.serialize import (
+    mapping_from_dict,
+    mapping_to_dict,
+    plan_from_json,
+    plan_to_json,
+)
+
+
+class TestMappingRoundtrip:
+    @pytest.mark.parametrize(
+        "b,p", [((4, 4, 4), 16), ((5, 10, 10), 50), ((2, 3, 6), 6)]
+    )
+    def test_roundtrip_preserves_grid(self, b, p):
+        mm = build_modular_mapping(b, p)
+        back = mapping_from_dict(mapping_to_dict(mm))
+        assert (back.rank_grid(b) == mm.rank_grid(b)).all()
+        assert back.moduli == mm.moduli
+
+
+class TestPlanRoundtrip:
+    @pytest.mark.parametrize("p", [1, 7, 16, 50])
+    def test_roundtrip(self, p):
+        plan = plan_multipartitioning((102, 102, 102), p)
+        text = plan_to_json(plan)
+        back = plan_from_json(text)
+        assert back.shape == plan.shape
+        assert back.gammas == plan.gammas
+        assert back.nprocs == plan.nprocs
+        assert (back.partitioning.owner == plan.partitioning.owner).all()
+        assert back.choice.cost == pytest.approx(plan.choice.cost)
+
+    def test_document_is_compact(self):
+        """The owner grid (500 tiles at p=50) must NOT be in the payload."""
+        plan = plan_multipartitioning((102, 102, 102), 50)
+        doc = json.loads(plan_to_json(plan))
+        assert "owner" not in doc
+        assert len(plan_to_json(plan)) < 1000
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError):
+            plan_from_json(json.dumps({"format": "something-else"}))
+
+    def test_corrupt_moduli_rejected(self):
+        plan = plan_multipartitioning((64, 64, 64), 8)
+        doc = json.loads(plan_to_json(plan))
+        doc["nprocs"] = 9
+        with pytest.raises(ValueError):
+            plan_from_json(json.dumps(doc))
+
+    def test_tampered_matrix_rejected(self):
+        """A mapping matrix edited to break balance must fail validation on
+        load (Multipartitioning re-verifies the properties)."""
+        plan = plan_multipartitioning((64, 64, 64), 8)
+        doc = json.loads(plan_to_json(plan))
+        doc["mapping"]["matrix"][1] = [0] * len(
+            doc["mapping"]["matrix"][1]
+        )
+        with pytest.raises(ValueError):
+            plan_from_json(json.dumps(doc))

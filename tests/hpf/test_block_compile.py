@@ -1,0 +1,70 @@
+"""Tests for block-sweep statements (BT) through the dHPF-lite compiler."""
+
+import numpy as np
+import pytest
+
+from repro.apps.bt import BTProblem
+from repro.apps.workloads import random_field
+from repro.hpf.directives import Distribute, DistFormat, Processors, Template
+from repro.hpf.program import (
+    BlockSweepStmt,
+    HpfProgram,
+    PointwiseStmt,
+    compile_program,
+)
+from repro.sweep.ops import BlockSweepOp
+from repro.sweep.sequential import run_sequential
+
+
+def bt_program(p=4, shape=(10, 10, 10)):
+    prob = BTProblem(shape=shape)
+    ops = prob.solve_ops(0) + prob.solve_ops(2)
+    stmts = tuple(
+        BlockSweepStmt(
+            axis=op.axis, mult=op.mult, scale=op.scale, reverse=op.reverse
+        )
+        for op in ops
+    ) + (PointwiseStmt(fn=lambda b: b * 0.5, name="half"),)
+    return HpfProgram(
+        distribute=Distribute(
+            Template("bt", prob.field_shape),
+            (DistFormat.MULTI,) * 3 + (DistFormat.STAR,),
+            Processors("procs", p),
+        ),
+        statements=stmts,
+    )
+
+
+class TestBlockCompile:
+    def test_lowering(self):
+        compiled = compile_program(bt_program())
+        blocks = [
+            op for op in compiled.schedule if isinstance(op, BlockSweepOp)
+        ]
+        assert len(blocks) == 4
+        assert len(compiled.comm_plans) == 4
+
+    def test_runs_and_matches_sequential(self, machine):
+        prog = bt_program(p=4)
+        compiled = compile_program(prog)
+        field = random_field((10, 10, 10, 5))
+        ref = run_sequential(field, list(compiled.schedule))
+        out, res = compiled.run(field, machine)
+        assert np.allclose(out, ref, atol=1e-9)
+        assert res.message_count == compiled.planned_messages
+
+    def test_component_axis_must_be_star(self):
+        prob = BTProblem(shape=(8, 8, 8))
+        op = prob.solve_ops(0)[0]
+        prog = HpfProgram(
+            distribute=Distribute(
+                Template("bt", prob.field_shape),
+                (DistFormat.MULTI,) * 4,
+                Processors("procs", 4),
+            ),
+            statements=(
+                BlockSweepStmt(axis=0, mult=op.mult, scale=op.scale),
+            ),
+        )
+        with pytest.raises(ValueError, match="STAR component axis"):
+            compile_program(prog)

@@ -1,0 +1,86 @@
+"""Tests for HPF directive descriptors."""
+
+import pytest
+
+from repro.hpf.directives import (
+    Align,
+    Distribute,
+    DistFormat,
+    Processors,
+    Shadow,
+    Template,
+)
+
+
+def tmpl(shape=(16, 16, 16)) -> Template:
+    return Template("t", shape)
+
+
+class TestTemplate:
+    def test_ok(self):
+        t = tmpl()
+        assert t.shape == (16, 16, 16)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            Template("t", (0, 4))
+        with pytest.raises(ValueError):
+            Template("t", ())
+
+
+class TestProcessors:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Processors("p", 0)
+
+
+class TestDistribute:
+    def test_multi(self):
+        d = Distribute(
+            tmpl(),
+            (DistFormat.MULTI, DistFormat.MULTI, DistFormat.MULTI),
+            Processors("p", 8),
+        )
+        assert d.is_multipartitioned
+        assert d.partitioned_axes() == (0, 1, 2)
+
+    def test_block_star(self):
+        d = Distribute(
+            tmpl(),
+            (DistFormat.BLOCK, DistFormat.STAR, DistFormat.STAR),
+            Processors("p", 4),
+        )
+        assert not d.is_multipartitioned
+        assert d.partitioned_axes() == (0,)
+
+    def test_rejects_format_count_mismatch(self):
+        with pytest.raises(ValueError):
+            Distribute(
+                tmpl(), (DistFormat.MULTI, DistFormat.MULTI), Processors("p", 4)
+            )
+
+    def test_rejects_multi_block_mix(self):
+        with pytest.raises(ValueError):
+            Distribute(
+                tmpl(),
+                (DistFormat.MULTI, DistFormat.BLOCK, DistFormat.STAR),
+                Processors("p", 4),
+            )
+
+    def test_rejects_all_star(self):
+        with pytest.raises(ValueError):
+            Distribute(
+                tmpl(),
+                (DistFormat.STAR,) * 3,
+                Processors("p", 4),
+            )
+
+
+class TestShadowDirective:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Shadow("a", ((1, -1),))
+
+    def test_align_holds_names(self):
+        a = Align("u", tmpl())
+        assert a.array == "u"

@@ -1,0 +1,95 @@
+"""Tests for directive resolution into concrete distributions."""
+
+import numpy as np
+import pytest
+
+from repro.core.properties import has_balance_property, has_neighbor_property
+from repro.hpf.directives import Distribute, DistFormat, Processors, Template
+from repro.hpf.distribution import (
+    ResolvedBlock,
+    ResolvedMulti,
+    block_process_grid,
+    resolve_distribution,
+)
+
+
+def multi_distribute(shape, p, formats=None) -> Distribute:
+    formats = formats or (DistFormat.MULTI,) * len(shape)
+    return Distribute(Template("t", shape), formats, Processors("p", p))
+
+
+class TestResolveMulti:
+    def test_full_multi(self):
+        res = resolve_distribution(multi_distribute((64, 64, 64), 8))
+        assert isinstance(res, ResolvedMulti)
+        assert res.nprocs == 8
+        grid = res.plan.partitioning.owner
+        assert has_balance_property(grid, 8)
+        assert has_neighbor_property(grid)
+
+    def test_multi_with_star_axis(self):
+        formats = (DistFormat.MULTI, DistFormat.MULTI, DistFormat.STAR)
+        res = resolve_distribution(multi_distribute((64, 64, 8), 6, formats))
+        assert isinstance(res, ResolvedMulti)
+        assert res.plan.gammas[2] == 1  # STAR axis uncut
+        assert res.plan.gammas[:2] == (6, 6)  # 2-D latin square
+        grid = res.plan.partitioning.owner
+        assert grid.shape == (6, 6, 1)
+        assert has_balance_property(grid, 6)
+
+    def test_owner_of(self):
+        res = resolve_distribution(multi_distribute((32, 32, 32), 4))
+        tile = (0, 1, 1)
+        assert res.owner_of(tile) == res.plan.partitioning.rank_of(tile)
+
+    def test_rejects_single_multi_axis(self):
+        formats = (DistFormat.MULTI, DistFormat.STAR, DistFormat.STAR)
+        with pytest.raises(ValueError):
+            resolve_distribution(multi_distribute((64, 64, 64), 4, formats))
+
+
+class TestResolveBlock:
+    def test_one_axis(self):
+        d = Distribute(
+            Template("t", (64, 64, 64)),
+            (DistFormat.BLOCK, DistFormat.STAR, DistFormat.STAR),
+            Processors("p", 4),
+        )
+        res = resolve_distribution(d)
+        assert isinstance(res, ResolvedBlock)
+        assert res.proc_grid == (4, 1, 1)
+        assert res.nprocs == 4
+
+    def test_two_axes_balanced_split(self):
+        d = Distribute(
+            Template("t", (64, 64, 64)),
+            (DistFormat.BLOCK, DistFormat.BLOCK, DistFormat.STAR),
+            Processors("p", 12),
+        )
+        res = resolve_distribution(d)
+        assert int(np.prod(res.proc_grid)) == 12
+        assert res.proc_grid[2] == 1
+
+    def test_owner_table_covers_all_ranks(self):
+        d = Distribute(
+            Template("t", (32, 32)),
+            (DistFormat.BLOCK, DistFormat.BLOCK),
+            Processors("p", 6),
+        )
+        res = resolve_distribution(d)
+        table = res.owner_table()
+        assert sorted(table.ravel().tolist()) == list(range(6))
+
+
+class TestBlockProcessGrid:
+    def test_prefers_long_axes(self):
+        grid = block_process_grid(8, (128, 16, 16), (0, 1, 2))
+        assert grid[0] == max(grid)
+
+    def test_respects_extents(self):
+        with pytest.raises(ValueError):
+            block_process_grid(64, (4, 4), (0,))
+
+    def test_rejects_no_axes(self):
+        with pytest.raises(ValueError):
+            block_process_grid(4, (8, 8), ())

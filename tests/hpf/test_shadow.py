@@ -1,0 +1,77 @@
+"""Tests for shadow-region analysis and communication elimination."""
+
+import pytest
+
+from repro.hpf.shadow import (
+    CommDecision,
+    ShadowRegion,
+    StencilSpec,
+    decide_stencil_comm,
+)
+
+
+def stencil3() -> StencilSpec:
+    return StencilSpec(((1, 1), (0, 0), (0, 0)))
+
+
+def shadow3(w=1) -> ShadowRegion:
+    return ShadowRegion(((w, w), (w, w), (w, w)))
+
+
+class TestStencilSpec:
+    def test_touches(self):
+        s = stencil3()
+        assert s.touches_axis(0)
+        assert not s.touches_axis(1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            StencilSpec(((-1, 0),))
+
+
+class TestShadowRegion:
+    def test_covers(self):
+        assert shadow3(1).covers(stencil3())
+        assert not ShadowRegion(((0, 0), (0, 0), (0, 0))).covers(stencil3())
+
+    def test_covers_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            shadow3().covers(StencilSpec(((1, 1),)))
+
+    def test_validity_lifecycle(self):
+        sh = shadow3()
+        assert not sh.valid[0][0]
+        sh.mark_valid(0, 0)
+        assert sh.valid[0][0]
+        sh.invalidate()
+        assert not sh.valid[0][0]
+
+    def test_rejects_negative_widths(self):
+        with pytest.raises(ValueError):
+            ShadowRegion(((1, -2),))
+
+
+class TestDecision:
+    def test_no_reach_no_action(self):
+        d = decide_stencil_comm(stencil3(), shadow3(), 1, 0, False)
+        assert d.action == "none"
+
+    def test_local_when_shadow_valid(self):
+        sh = shadow3()
+        sh.mark_valid(0, 1)
+        d = decide_stencil_comm(stencil3(), sh, 0, 1, False)
+        assert d.action == "local"
+
+    def test_replicate_when_producer_local(self):
+        d = decide_stencil_comm(stencil3(), shadow3(), 0, 0, True)
+        assert d.action == "replicate"
+
+    def test_communicate_fallback(self):
+        d = decide_stencil_comm(stencil3(), shadow3(), 0, 0, False)
+        assert d.action == "communicate"
+        assert isinstance(d, CommDecision)
+
+    def test_insufficient_shadow_raises(self):
+        wide = StencilSpec(((2, 2), (0, 0), (0, 0)))
+        with pytest.raises(ValueError):
+            decide_stencil_comm(wide, shadow3(1), 0, 0, False)

@@ -1,0 +1,149 @@
+"""Tests for the collective operations built on point-to-point messages."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import Comm, MachineModel, run
+
+
+def machine() -> MachineModel:
+    return MachineModel(
+        compute_per_point=0.0, overhead=1e-6, latency=1e-5, bandwidth=1e8
+    )
+
+
+SIZES = [1, 2, 3, 4, 5, 7, 8]
+
+
+class TestBcast:
+    @pytest.mark.parametrize("size", SIZES)
+    @pytest.mark.parametrize("root", [0, -1])
+    def test_all_receive(self, size, root):
+        root = root % size
+
+        def prog(comm):
+            data = {"v": 42} if comm.rank == root else None
+            got = yield from comm.bcast(data, root=root)
+            return got["v"]
+
+        res = run(machine(), prog, size)
+        assert res.returns == (42,) * size
+
+    def test_numpy_payload(self):
+        arr = np.arange(8.0)
+
+        def prog(comm):
+            data = arr if comm.rank == 0 else None
+            got = yield from comm.bcast(data)
+            return float(got.sum())
+
+        res = run(machine(), prog, 4)
+        assert res.returns == (28.0,) * 4
+
+
+class TestReduceAllreduce:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_reduce_sum(self, size):
+        def prog(comm):
+            total = yield from comm.reduce(comm.rank + 1, lambda a, b: a + b)
+            return total
+
+        res = run(machine(), prog, size)
+        expected = size * (size + 1) // 2
+        assert res.returns[0] == expected
+        assert all(r is None for r in res.returns[1:])
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_allreduce_max(self, size):
+        def prog(comm):
+            m = yield from comm.allreduce(comm.rank, max)
+            return m
+
+        res = run(machine(), prog, size)
+        assert res.returns == (size - 1,) * size
+
+
+class TestGatherScatter:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_gather(self, size):
+        def prog(comm):
+            lst = yield from comm.gather(comm.rank**2)
+            return lst
+
+        res = run(machine(), prog, size)
+        assert res.returns[0] == [r**2 for r in range(size)]
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_allgather(self, size):
+        def prog(comm):
+            lst = yield from comm.allgather(chr(ord("a") + comm.rank))
+            return "".join(lst)
+
+        res = run(machine(), prog, size)
+        expected = "".join(chr(ord("a") + r) for r in range(size))
+        assert res.returns == (expected,) * size
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_scatter(self, size):
+        def prog(comm):
+            data = list(range(0, 10 * size, 10)) if comm.rank == 0 else None
+            got = yield from comm.scatter(data)
+            return got
+
+        res = run(machine(), prog, size)
+        assert res.returns == tuple(range(0, 10 * size, 10))
+
+    def test_scatter_requires_full_list(self):
+        def prog(comm):
+            yield from comm.scatter([1], root=0)
+
+        with pytest.raises(ValueError):
+            run(machine(), prog, 2)
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_personalized_exchange(self, size):
+        def prog(comm):
+            payloads = [
+                (comm.rank, dest) for dest in range(size)
+            ]
+            got = yield from comm.alltoall(payloads)
+            return got
+
+        res = run(machine(), prog, size)
+        for rank, got in enumerate(res.returns):
+            assert got == [(src, rank) for src in range(size)]
+
+    def test_wrong_length_rejected(self):
+        def prog(comm):
+            yield from comm.alltoall([1])
+
+        with pytest.raises(ValueError):
+            run(machine(), prog, 3)
+
+
+class TestBarrier:
+    def test_barrier_synchronizes_clocks(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield from comm.compute(1.0)
+            yield from comm.barrier()
+            return None
+
+        res = run(machine(), prog, 4)
+        # all ranks finish at >= rank 0's compute time
+        assert min(res.clocks) >= 1.0
+
+
+class TestCommValidation:
+    def test_self_send_rejected(self):
+        def prog(comm):
+            yield from comm.send(1, dest=comm.rank)
+
+        with pytest.raises(ValueError):
+            run(machine(), prog, 2)
+
+    def test_bad_rank(self):
+        with pytest.raises(ValueError):
+            Comm(rank=3, size=2)

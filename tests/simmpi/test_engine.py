@@ -1,0 +1,198 @@
+"""Tests for the discrete-event engine: timing semantics, ordering,
+deadlock detection."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import (
+    ANY_TAG,
+    Comm,
+    MachineModel,
+    SimDeadlockError,
+    run,
+)
+from repro.simmpi.engine import run_programs
+from repro.simmpi.message import Bytes, ComputeOp, RecvOp, SendOp
+
+
+def simple_machine(**kw) -> MachineModel:
+    defaults = dict(
+        compute_per_point=0.0,
+        overhead=1.0,
+        latency=10.0,
+        bandwidth=1.0,
+    )
+    defaults.update(kw)
+    return MachineModel(**defaults)
+
+
+class TestPointToPoint:
+    def test_timing_semantics(self):
+        """sender: +overhead; arrival: +latency+bytes/bw; receiver completes
+        at max(clock, arrival)+overhead."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                yield SendOp(dest=1, payload=Bytes(5))
+            else:
+                got = yield RecvOp(source=0)
+                assert isinstance(got, Bytes)
+
+        res = run(simple_machine(), prog, 2)
+        # sender clock: 1 (overhead); arrival: 1 + 10 + 5 = 16;
+        # receiver: max(0, 16) + 1 = 17
+        assert res.clocks[0] == pytest.approx(1.0)
+        assert res.clocks[1] == pytest.approx(17.0)
+
+    def test_receiver_busy_delays_completion(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield SendOp(dest=1, payload=Bytes(5))
+            else:
+                yield ComputeOp(seconds=100.0)
+                yield RecvOp(source=0)
+
+        res = run(simple_machine(), prog, 2)
+        assert res.clocks[1] == pytest.approx(101.0)
+
+    def test_fifo_ordering_same_tag(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield SendOp(dest=1, payload="first", tag=7)
+                yield SendOp(dest=1, payload="second", tag=7)
+                return None
+            a = yield RecvOp(source=0, tag=7)
+            b = yield RecvOp(source=0, tag=7)
+            return (a, b)
+
+        res = run(simple_machine(), prog, 2)
+        assert res.returns[1] == ("first", "second")
+
+    def test_tag_selective_matching(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield SendOp(dest=1, payload="x", tag=1)
+                yield SendOp(dest=1, payload="y", tag=2)
+                return None
+            b = yield RecvOp(source=0, tag=2)
+            a = yield RecvOp(source=0, tag=1)
+            return (a, b)
+
+        res = run(simple_machine(), prog, 2)
+        assert res.returns[1] == ("x", "y")
+
+    def test_any_tag_takes_arrival_order(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield SendOp(dest=1, payload="x", tag=5)
+                yield SendOp(dest=1, payload="y", tag=3)
+                return None
+            a = yield RecvOp(source=0, tag=ANY_TAG)
+            b = yield RecvOp(source=0, tag=ANY_TAG)
+            return (a, b)
+
+        res = run(simple_machine(), prog, 2)
+        assert res.returns[1] == ("x", "y")
+
+    def test_numpy_payload_preserved(self):
+        data = np.arange(16, dtype=np.float64).reshape(4, 4)
+
+        def prog(comm):
+            if comm.rank == 0:
+                yield SendOp(dest=1, payload=data)
+                return None
+            got = yield RecvOp(source=0)
+            return got
+
+        res = run(simple_machine(), prog, 2)
+        assert (res.returns[1] == data).all()
+
+    def test_invalid_dest_raises(self):
+        def prog(comm):
+            yield SendOp(dest=5, payload=None)
+
+        with pytest.raises(ValueError):
+            run(simple_machine(), prog, 2)
+
+
+class TestDeadlock:
+    def test_mutual_recv_detected(self):
+        def prog(comm):
+            other = 1 - comm.rank
+            yield RecvOp(source=other)
+
+        with pytest.raises(SimDeadlockError):
+            run(simple_machine(), prog, 2)
+
+    def test_missing_message_detected(self):
+        def prog(comm):
+            if comm.rank == 1:
+                yield RecvOp(source=0, tag=99)
+            else:
+                yield ComputeOp(seconds=1.0)
+
+        with pytest.raises(SimDeadlockError):
+            run(simple_machine(), prog, 2)
+
+
+class TestBusNetwork:
+    def test_bus_serializes_transfers(self):
+        """On a bus, two concurrent transfers occupy the channel one after
+        the other; on a scalable network they overlap."""
+
+        def prog(comm):
+            if comm.rank in (0, 1):
+                yield SendOp(dest=comm.rank + 2, payload=Bytes(100))
+            else:
+                yield RecvOp(source=comm.rank - 2)
+
+        from repro.core.cost import NetworkScaling
+
+        scal = run(simple_machine(), prog, 4)
+        bus_res = run(
+            simple_machine(network=NetworkScaling.BUS), prog, 4
+        )
+        assert max(bus_res.clocks) > max(scal.clocks)
+
+    def test_trace_counts(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield SendOp(dest=1, payload=Bytes(64))
+            else:
+                yield RecvOp(source=0)
+
+        res = run(simple_machine(), prog, 2, record_events=True)
+        assert res.message_count == 1
+        assert res.total_bytes == 64
+        kinds = [e.kind for e in res.trace.events]
+        assert "send" in kinds and "recv" in kinds
+
+
+class TestEngineMisc:
+    def test_program_count_mismatch(self):
+        from repro.simmpi.engine import Engine
+
+        eng = Engine(simple_machine(), nprocs=3)
+
+        def gen():
+            yield ComputeOp(seconds=0.0)
+
+        with pytest.raises(ValueError):
+            eng.run([gen()])
+
+    def test_unsupported_op_rejected(self):
+        def prog(comm):
+            yield "not-an-op"
+
+        with pytest.raises(TypeError):
+            run(simple_machine(), prog, 1)
+
+    def test_return_values_collected(self):
+        def prog(comm):
+            yield ComputeOp(seconds=float(comm.rank))
+            return comm.rank * 10
+
+        res = run(simple_machine(), prog, 3)
+        assert res.returns == (0, 10, 20)
+        assert res.clocks == (0.0, 1.0, 2.0)
+        assert res.makespan == 2.0

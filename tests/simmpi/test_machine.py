@@ -1,0 +1,66 @@
+"""Tests for machine models and their analytic-cost bridge."""
+
+import pytest
+
+from repro.core.cost import NetworkScaling
+from repro.simmpi.machine import (
+    MachineModel,
+    bus,
+    ethernet_cluster,
+    origin2000,
+)
+
+
+class TestMachineModel:
+    def test_transfer_time(self):
+        m = MachineModel(latency=1e-5, bandwidth=1e8)
+        assert m.transfer_time(0) == pytest.approx(1e-5)
+        assert m.transfer_time(1e8) == pytest.approx(1.0 + 1e-5)
+
+    def test_compute_time(self):
+        m = MachineModel(compute_per_point=1e-6, tile_overhead=1e-3)
+        assert m.compute_time(1000, ops=2.0) == pytest.approx(2e-3)
+        assert m.compute_time(1000, ops=2.0, tiles=3) == pytest.approx(5e-3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MachineModel(latency=-1.0)
+        with pytest.raises(ValueError):
+            MachineModel(bandwidth=0.0)
+        with pytest.raises(ValueError):
+            MachineModel(itemsize=0)
+        with pytest.raises(ValueError):
+            MachineModel(tile_overhead=-1e-9)
+
+    def test_k2_is_startup(self):
+        m = MachineModel(overhead=2e-6, latency=6e-6)
+        assert m.k2 == pytest.approx(1e-5)
+
+    def test_to_cost_model(self):
+        m = MachineModel(
+            compute_per_point=1e-7,
+            overhead=1e-6,
+            latency=2e-6,
+            bandwidth=1e8,
+            itemsize=8,
+        )
+        cm = m.to_cost_model()
+        assert cm.k1 == pytest.approx(1e-7)
+        assert cm.k2 == pytest.approx(4e-6)
+        assert cm.k3 == pytest.approx(8e-8)
+        assert cm.scaling is NetworkScaling.SCALABLE
+
+
+class TestPresets:
+    def test_presets_construct(self):
+        for preset in (origin2000, ethernet_cluster, bus):
+            m = preset()
+            assert m.bandwidth > 0
+            assert m.compute_per_point > 0
+
+    def test_bus_scaling(self):
+        assert bus().network is NetworkScaling.BUS
+        assert origin2000().network is NetworkScaling.SCALABLE
+
+    def test_cluster_is_startup_dominated(self):
+        assert ethernet_cluster().k2 > origin2000().k2

@@ -1,0 +1,48 @@
+"""Tests for message primitives and byte accounting."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi.message import (
+    Bytes,
+    ComputeOp,
+    RecvOp,
+    SendOp,
+    payload_nbytes,
+)
+
+
+class TestPayloadNbytes:
+    def test_numpy_array(self):
+        assert payload_nbytes(np.zeros(10, dtype=np.float64)) == 80
+        assert payload_nbytes(np.zeros((3, 4), dtype=np.int32)) == 48
+
+    def test_bytes_sentinel(self):
+        assert payload_nbytes(Bytes(12345)) == 12345
+
+    def test_raw_bytes(self):
+        assert payload_nbytes(b"abcd") == 4
+        assert payload_nbytes(bytearray(7)) == 7
+
+    def test_python_objects_use_pickle_size(self):
+        small = payload_nbytes({"a": 1})
+        big = payload_nbytes({"a": list(range(1000))})
+        assert 0 < small < big
+
+    def test_bytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Bytes(-1)
+
+
+class TestOps:
+    def test_compute_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ComputeOp(seconds=-1.0)
+
+    def test_ops_are_frozen(self):
+        op = SendOp(dest=1, payload=None)
+        with pytest.raises(AttributeError):
+            op.dest = 2  # type: ignore[misc]
+        r = RecvOp(source=0)
+        with pytest.raises(AttributeError):
+            r.source = 3  # type: ignore[misc]

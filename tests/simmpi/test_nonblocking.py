@@ -1,0 +1,98 @@
+"""Tests for the non-blocking Request API (isend/irecv/waitall)."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import Comm, MachineModel, Request, run
+
+
+def machine() -> MachineModel:
+    return MachineModel(
+        compute_per_point=0.0, overhead=1e-6, latency=1e-5, bandwidth=1e8
+    )
+
+
+class TestIsend:
+    def test_complete_on_creation(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = yield from comm.isend({"x": 1}, dest=1)
+                assert req.completed
+                val = yield from req.wait()
+                assert val is None
+            else:
+                data = yield from comm.recv(source=0)
+                return data["x"]
+
+        res = run(machine(), prog, 2)
+        assert res.returns[1] == 1
+
+
+class TestIrecv:
+    def test_post_then_wait(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield from comm.send(np.arange(4.0), dest=1, tag=9)
+                return None
+            req = comm.irecv(source=0, tag=9)
+            assert not req.completed
+            data = yield from req.wait()
+            assert req.completed
+            return float(data.sum())
+
+        res = run(machine(), prog, 2)
+        assert res.returns[1] == 6.0
+
+    def test_wait_idempotent(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield from comm.send("v", dest=1)
+                return None
+            req = comm.irecv(source=0)
+            a = yield from req.wait()
+            b = yield from req.wait()
+            return (a, b)
+
+        res = run(machine(), prog, 2)
+        assert res.returns[1] == ("v", "v")
+
+    def test_self_irecv_rejected(self):
+        comm = Comm(0, 2)
+        with pytest.raises(ValueError):
+            comm.irecv(source=0)
+
+
+class TestWaitall:
+    def test_gathers_in_order(self):
+        def prog(comm):
+            if comm.rank == 0:
+                reqs = [
+                    comm.irecv(source=src, tag=src)
+                    for src in range(1, comm.size)
+                ]
+                values = yield from comm.waitall(reqs)
+                return values
+            yield from comm.send(comm.rank * 10, dest=0, tag=comm.rank)
+            return None
+
+        res = run(machine(), prog, 4)
+        assert res.returns[0] == [10, 20, 30]
+
+    def test_overlap_pattern(self):
+        """The canonical prepost-receives-then-send exchange: every rank
+        posts irecvs from both ring neighbors, sends, then waits — no
+        deadlock, correct values."""
+
+        def prog(comm):
+            left = (comm.rank - 1) % comm.size
+            right = (comm.rank + 1) % comm.size
+            reqs = [comm.irecv(left, tag=1), comm.irecv(right, tag=2)]
+            yield from comm.send(comm.rank, right, tag=1)
+            yield from comm.send(comm.rank, left, tag=2)
+            from_left, from_right = yield from comm.waitall(reqs)
+            return (from_left, from_right)
+
+        res = run(machine(), prog, 5)
+        for rank, (fl, fr) in enumerate(res.returns):
+            assert fl == (rank - 1) % 5
+            assert fr == (rank + 1) % 5

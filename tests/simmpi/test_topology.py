@@ -1,0 +1,137 @@
+"""Tests for network topologies and topology-aware transfer times."""
+
+import pytest
+
+from repro.simmpi.machine import MachineModel
+from repro.simmpi.message import Bytes, RecvOp, SendOp
+from repro.simmpi import run
+from repro.simmpi.topology import (
+    FullyConnected,
+    Hypercube,
+    Mesh2D,
+    Ring,
+    topology_for,
+)
+
+
+class TestTopologies:
+    def test_fully_connected(self):
+        t = FullyConnected(5)
+        assert t.hops(0, 0) == 0
+        assert t.hops(0, 4) == 1
+        assert t.diameter() == 1
+
+    def test_ring(self):
+        t = Ring(6)
+        assert t.hops(0, 1) == 1
+        assert t.hops(0, 5) == 1  # wraparound
+        assert t.hops(0, 3) == 3
+        assert t.diameter() == 3
+
+    def test_mesh(self):
+        t = Mesh2D(3, 4)
+        assert t.nprocs == 12
+        assert t.hops(0, 3) == 3       # same row
+        assert t.hops(0, 11) == 2 + 3  # opposite corner
+        assert t.diameter() == 5
+
+    def test_hypercube(self):
+        t = Hypercube(3)
+        assert t.nprocs == 8
+        assert t.hops(0, 1) == 1
+        assert t.hops(0, 7) == 3
+        assert t.diameter() == 3
+
+    def test_symmetry(self):
+        for t in (Ring(7), Mesh2D(2, 5), Hypercube(3), FullyConnected(4)):
+            for a in range(t.nprocs):
+                for b in range(t.nprocs):
+                    assert t.hops(a, b) == t.hops(b, a)
+                    assert (t.hops(a, b) == 0) == (a == b)
+
+    def test_range_checks(self):
+        with pytest.raises(ValueError):
+            Ring(4).hops(0, 4)
+        with pytest.raises(ValueError):
+            Mesh2D(0, 3)
+        with pytest.raises(ValueError):
+            Hypercube(-1)
+
+
+class TestTopologyFor:
+    def test_named(self):
+        assert isinstance(topology_for("ring", 6), Ring)
+        assert isinstance(topology_for("full", 6), FullyConnected)
+        assert isinstance(topology_for("hypercube", 8), Hypercube)
+        mesh = topology_for("mesh2d", 12)
+        assert mesh.nprocs == 12
+
+    def test_hypercube_needs_power_of_two(self):
+        with pytest.raises(ValueError):
+            topology_for("hypercube", 6)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            topology_for("torus9d", 4)
+
+
+class TestTopologyAwareTiming:
+    def test_extra_hops_cost_latency(self):
+        m = MachineModel(
+            latency=1e-5,
+            per_hop_latency=1e-5,
+            topology=Ring(8),
+            bandwidth=1e9,
+        )
+        near = m.transfer_time(0, src=0, dst=1)
+        far = m.transfer_time(0, src=0, dst=4)
+        assert far == pytest.approx(near + 3e-5)
+
+    def test_no_topology_is_flat(self):
+        m = MachineModel(latency=1e-5, per_hop_latency=1e-5)
+        assert m.transfer_time(0, src=0, dst=4) == m.transfer_time(0)
+
+    def test_engine_charges_hops(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield SendOp(dest=comm.size - 1, payload=Bytes(0))
+            elif comm.rank == comm.size - 1:
+                yield RecvOp(source=0)
+
+        base = MachineModel(
+            compute_per_point=0.0, overhead=0.0, latency=1.0,
+            bandwidth=1e12,
+        )
+        flat = run(base, prog, 6)
+        ringy = run(
+            MachineModel(
+                compute_per_point=0.0, overhead=0.0, latency=1.0,
+                bandwidth=1e12, per_hop_latency=1.0,
+                topology=Ring(6),
+            ),
+            prog,
+            6,
+        )
+        # rank 5 is 1 hop from rank 0 on the ring (wraparound): same time
+        assert ringy.makespan == pytest.approx(flat.makespan)
+
+        def prog2(comm):
+            if comm.rank == 0:
+                yield SendOp(dest=3, payload=Bytes(0))
+            elif comm.rank == 3:
+                yield RecvOp(source=0)
+
+        far = run(
+            MachineModel(
+                compute_per_point=0.0, overhead=0.0, latency=1.0,
+                bandwidth=1e12, per_hop_latency=1.0,
+                topology=Ring(6),
+            ),
+            prog2,
+            6,
+        )
+        assert far.makespan == pytest.approx(flat.makespan + 2.0)
+
+    def test_negative_per_hop_rejected(self):
+        with pytest.raises(ValueError):
+            MachineModel(per_hop_latency=-1.0)

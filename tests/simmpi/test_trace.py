@@ -1,0 +1,52 @@
+"""Tests for trace aggregation and run-result statistics."""
+
+import pytest
+
+from repro.simmpi.trace import RunResult, Trace, TraceEvent
+
+
+class TestTrace:
+    def test_send_accumulates_bytes(self):
+        t = Trace(enabled=False)
+        t.record(TraceEvent(rank=0, kind="send", start=0, end=1, nbytes=10))
+        t.record(TraceEvent(rank=1, kind="send", start=0, end=1, nbytes=5))
+        assert t.message_count == 2
+        assert t.total_bytes == 15
+        assert t.events == []  # disabled: counters only
+
+    def test_compute_seconds(self):
+        t = Trace()
+        t.record(TraceEvent(rank=0, kind="compute", start=1.0, end=3.5))
+        assert t.compute_seconds == pytest.approx(2.5)
+
+    def test_events_of_and_marks(self):
+        t = Trace()
+        t.record(TraceEvent(rank=0, kind="mark", start=0, end=0, detail="a"))
+        t.record(TraceEvent(rank=1, kind="compute", start=0, end=1))
+        assert len(t.events_of(0)) == 1
+        assert t.marks()[0].detail == "a"
+
+
+class TestRunResult:
+    def make(self):
+        t = Trace()
+        t.record(TraceEvent(rank=0, kind="compute", start=0.0, end=2.0))
+        t.record(TraceEvent(rank=1, kind="compute", start=0.0, end=1.0))
+        t.record(
+            TraceEvent(rank=1, kind="send", start=1.0, end=1.5, nbytes=8)
+        )
+        return RunResult(clocks=(2.0, 4.0), returns=(None, None), trace=t)
+
+    def test_makespan(self):
+        assert self.make().makespan == 4.0
+
+    def test_busy_and_efficiency(self):
+        res = self.make()
+        busy = res.busy_seconds()
+        assert busy == (2.0, 1.5)
+        assert res.efficiency() == pytest.approx((2.0 + 1.5) / (2 * 4.0))
+
+    def test_empty(self):
+        res = RunResult(clocks=(), returns=(), trace=Trace())
+        assert res.makespan == 0.0
+        assert res.efficiency() == 1.0

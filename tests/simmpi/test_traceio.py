@@ -1,0 +1,106 @@
+"""Tests for trace export (Chrome format) and ASCII timelines."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps.workloads import random_field
+from repro.core.api import plan_multipartitioning
+from repro.simmpi.machine import MachineModel
+from repro.simmpi.trace import RunResult, Trace
+from repro.simmpi.traceio import (
+    ascii_timeline,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.sweep.multipart import MultipartExecutor
+from repro.sweep.ops import SweepOp
+
+
+@pytest.fixture(scope="module")
+def recorded_run():
+    machine = MachineModel()
+    shape = (12, 12)
+    plan = plan_multipartitioning(shape, 3)
+    ex = MultipartExecutor(plan.partitioning, shape, machine,
+                           record_events=True)
+    _, result = ex.run(random_field(shape), [SweepOp(axis=0, mult=0.5)])
+    return result
+
+
+class TestChromeTrace:
+    def test_structure(self, recorded_run):
+        doc = to_chrome_trace(recorded_run.trace)
+        assert "traceEvents" in doc
+        events = doc["traceEvents"]
+        assert len(events) == len(recorded_run.trace.events)
+        kinds = {e["cat"] for e in events if "cat" in e}
+        assert {"compute", "send", "recv"} <= kinds
+        for e in events:
+            if e["ph"] == "X":
+                assert e["dur"] >= 0
+                assert 0 <= e["tid"] < 3
+
+    def test_json_serializable(self, recorded_run):
+        buf = io.StringIO()
+        write_chrome_trace(recorded_run.trace, buf)
+        parsed = json.loads(buf.getvalue())
+        assert parsed["displayTimeUnit"] == "ms"
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            to_chrome_trace(Trace(enabled=False))
+
+    def test_marks_become_instants(self):
+        from repro.simmpi.trace import TraceEvent
+
+        t = Trace()
+        t.record(TraceEvent(rank=0, kind="mark", start=1.0, end=1.0,
+                            detail="phase-1"))
+        doc = to_chrome_trace(t)
+        assert doc["traceEvents"][0]["ph"] == "i"
+        assert doc["traceEvents"][0]["name"] == "phase-1"
+
+
+class TestAsciiTimeline:
+    def test_renders_all_ranks(self, recorded_run):
+        art = ascii_timeline(recorded_run, width=40)
+        lines = art.splitlines()
+        assert len(lines) == 1 + 3  # header + ranks
+        assert all("|" in line for line in lines[1:])
+        assert "#" in art  # some compute visible
+
+    def test_width_respected(self, recorded_run):
+        art = ascii_timeline(recorded_run, width=20)
+        for line in art.splitlines()[1:]:
+            inner = line.split("|")[1]
+            assert len(inner) == 20
+
+    def test_requires_events(self):
+        empty = RunResult(clocks=(0.0,), returns=(None,), trace=Trace())
+        with pytest.raises(ValueError):
+            ascii_timeline(empty)
+
+
+class TestPhaseMarks:
+    def test_executor_emits_op_marks(self):
+        from repro.apps.workloads import random_field
+        from repro.core.api import plan_multipartitioning
+        from repro.simmpi.machine import MachineModel
+        from repro.sweep.multipart import MultipartExecutor
+        from repro.sweep.ops import PointwiseOp, SweepOp
+
+        shape = (8, 8)
+        plan = plan_multipartitioning(shape, 2)
+        ex = MultipartExecutor(
+            plan.partitioning, shape, MachineModel(), record_events=True
+        )
+        _, res = ex.run(
+            random_field(shape),
+            [SweepOp(axis=0, mult=0.5), PointwiseOp(lambda b: b, name="id")],
+        )
+        marks = [e.detail for e in res.trace.marks()]
+        assert any(m.startswith("op0:sweep") for m in marks)
+        assert any(m.startswith("op1:id") for m in marks)

@@ -1,0 +1,160 @@
+"""Tests for block (matrix) recurrence kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sweep.blockrec import (
+    block_thomas_factor,
+    block_thomas_solve,
+    block_tridiagonal_matvec,
+    matrix_affine_scan,
+)
+from repro.sweep.ops import BlockSweepOp, block_thomas_ops, scan_op
+
+
+def dominant_blocks(c=3, seed=0):
+    rng = np.random.default_rng(seed)
+    A = -np.eye(c) + 0.1 * rng.standard_normal((c, c))
+    C = -np.eye(c) + 0.1 * rng.standard_normal((c, c))
+    B = 5.0 * np.eye(c) + 0.2 * rng.standard_normal((c, c))
+    return A, B, C
+
+
+class TestMatrixAffineScan:
+    def test_identity_matrices_match_scalar_scan(self, rng):
+        """With all matrices = s*I the block scan is c independent scalar
+        scans."""
+        from repro.sweep.recurrence import affine_scan
+
+        n, c = 7, 3
+        data = rng.standard_normal((n, 4, c))
+        mult = np.broadcast_to(0.5 * np.eye(c), (n, c, c)).copy()
+        scale = np.broadcast_to(np.eye(c), (n, c, c)).copy()
+        block = data.copy()
+        matrix_affine_scan(block, 0, mult, scale)
+        for comp in range(c):
+            expect = data[:, :, comp].copy()
+            affine_scan(expect, 0, mult=0.5)
+            assert np.allclose(block[:, :, comp], expect, atol=1e-13)
+
+    def test_carry_split_equals_whole(self, rng):
+        """The slab-splitting identity that makes distributed block sweeps
+        exact."""
+        n, c = 9, 4
+        data = rng.standard_normal((n, 5, c))
+        mult = rng.standard_normal((n, c, c)) * 0.3
+        scale = rng.standard_normal((n, c, c)) * 0.5 + np.eye(c)
+        whole = data.copy()
+        matrix_affine_scan(whole, 0, mult, scale)
+        k = 4
+        top, bottom = data[:k].copy(), data[k:].copy()
+        carry = matrix_affine_scan(top, 0, mult[:k], scale[:k])
+        matrix_affine_scan(bottom, 0, mult[k:], scale[k:], carry=carry)
+        assert np.allclose(np.concatenate([top, bottom]), whole, atol=1e-10)
+
+    def test_reverse_direction(self, rng):
+        n, c = 5, 2
+        data = rng.standard_normal((n, c))
+        mult = np.broadcast_to(np.eye(c), (n, c, c)).copy()
+        scale = np.broadcast_to(np.eye(c), (n, c, c)).copy()
+        block = data.copy()
+        matrix_affine_scan(block, 0, mult, scale, reverse=True)
+        # suffix sums per component
+        assert np.allclose(block, np.cumsum(data[::-1], axis=0)[::-1])
+
+    def test_rejects_component_axis(self, rng):
+        data = rng.standard_normal((4, 3))
+        mats = np.broadcast_to(np.eye(3), (3, 3, 3)).copy()
+        with pytest.raises(ValueError):
+            matrix_affine_scan(data, 1, mats, mats)
+
+    def test_rejects_bad_mats_shape(self, rng):
+        data = rng.standard_normal((4, 5, 3))
+        good = np.broadcast_to(np.eye(3), (4, 3, 3)).copy()
+        bad = np.broadcast_to(np.eye(3), (5, 3, 3)).copy()
+        with pytest.raises(ValueError):
+            matrix_affine_scan(data, 0, bad, good)
+
+    def test_rejects_bad_carry(self, rng):
+        data = rng.standard_normal((4, 5, 3))
+        mats = np.broadcast_to(np.eye(3), (4, 3, 3)).copy()
+        with pytest.raises(ValueError):
+            matrix_affine_scan(data, 0, mats, mats, carry=np.zeros((4, 3)))
+
+
+class TestBlockThomas:
+    @pytest.mark.parametrize("n", [1, 2, 5, 16])
+    @pytest.mark.parametrize("c", [1, 2, 5])
+    def test_solve_inverts_operator(self, n, c, rng):
+        A, B, C = dominant_blocks(c)
+        rhs = rng.standard_normal((n, 6, c))
+        x = block_thomas_solve(rhs, 0, A, B, C)
+        back = block_tridiagonal_matvec(x, 0, A, B, C)
+        assert np.allclose(back, rhs, atol=1e-9)
+
+    def test_c1_matches_scalar_thomas(self, rng):
+        from repro.sweep.recurrence import thomas_solve
+
+        n = 12
+        rhs = rng.standard_normal((n, 4))
+        x_block = block_thomas_solve(
+            rhs[..., None], 0,
+            np.array([[-1.0]]), np.array([[4.0]]), np.array([[-1.0]]),
+        )[..., 0]
+        x_scalar = thomas_solve(rhs, 0, -1.0, 4.0, -1.0)
+        assert np.allclose(x_block, x_scalar, atol=1e-11)
+
+    def test_solve_along_middle_axis(self, rng):
+        A, B, C = dominant_blocks(3)
+        rhs = rng.standard_normal((4, 9, 5, 3))
+        x = block_thomas_solve(rhs, 1, A, B, C)
+        back = block_tridiagonal_matvec(x, 1, A, B, C)
+        assert np.allclose(back, rhs, atol=1e-9)
+
+    def test_factor_validation(self):
+        with pytest.raises(ValueError):
+            block_thomas_factor(0, *dominant_blocks(2))
+        A, B, C = dominant_blocks(2)
+        with pytest.raises(ValueError):
+            block_thomas_factor(3, A[:1], B, C)
+
+    def test_dense_reference(self, rng):
+        """Cross-check against an assembled dense system."""
+        c, n = 3, 6
+        A, B, C = dominant_blocks(c, seed=7)
+        rhs = rng.standard_normal((n, c))
+        dense = np.zeros((n * c, n * c))
+        for k in range(n):
+            dense[k * c:(k + 1) * c, k * c:(k + 1) * c] = B
+            if k > 0:
+                dense[k * c:(k + 1) * c, (k - 1) * c:k * c] = A
+            if k < n - 1:
+                dense[k * c:(k + 1) * c, (k + 1) * c:(k + 2) * c] = C
+        expect = np.linalg.solve(dense, rhs.ravel()).reshape(n, c)
+        got = block_thomas_solve(rhs, 0, A, B, C)
+        assert np.allclose(got, expect, atol=1e-9)
+
+
+class TestScanOpDispatch:
+    def test_block_op_through_scan_op(self, rng):
+        A, B, C = dominant_blocks(2)
+        n = 8
+        ops = block_thomas_ops(n, 0, A, B, C)
+        data = rng.standard_normal((n, 3, 2))
+        via_ops = data.copy()
+        for op in ops:
+            scan_op(via_ops, op, 0, n, n, carry=None)
+        direct = block_thomas_solve(data, 0, A, B, C)
+        assert np.allclose(via_ops, direct, atol=1e-11)
+
+    def test_global_extent_checked(self, rng):
+        A, B, C = dominant_blocks(2)
+        op = block_thomas_ops(8, 0, A, B, C)[0]
+        with pytest.raises(ValueError):
+            scan_op(rng.standard_normal((5, 2)), op, 0, 5, 5, carry=None)
+
+    def test_non_sweep_rejected(self):
+        with pytest.raises(TypeError):
+            scan_op(np.zeros((3, 2)), object(), 0, 3, 3, carry=None)

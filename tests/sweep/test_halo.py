@@ -1,0 +1,67 @@
+"""Direct tests for the slab halo-exchange helper."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi.comm import Comm
+from repro.simmpi.engine import run_programs
+from repro.simmpi.machine import MachineModel
+from repro.sweep.halo import slab_stencil
+from repro.sweep.ops import StencilOp, star_laplacian
+from repro.sweep.sequential import run_sequential
+from repro.sweep.tiles import axis_extents
+
+
+def run_slab_stencil(field, op, nprocs, part_axis=0):
+    machine = MachineModel()
+    spans = axis_extents(field.shape[part_axis], nprocs)
+    slabs = [
+        np.ascontiguousarray(
+            np.take(field, range(lo, hi), axis=part_axis)
+        )
+        for lo, hi in spans
+    ]
+
+    def prog(comm, slab):
+        yield from slab_stencil(comm, slab, op, part_axis, machine, 1000)
+        return None
+
+    run_programs(
+        machine,
+        [prog(Comm(r, nprocs), slabs[r]) for r in range(nprocs)],
+    )
+    return np.concatenate(slabs, axis=part_axis)
+
+
+class TestSlabStencil:
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 5])
+    def test_matches_sequential(self, nprocs, rng):
+        field = rng.standard_normal((15, 8, 6))
+        op = star_laplacian(3)
+        expect = run_sequential(field, [op])
+        got = run_slab_stencil(field, op, nprocs)
+        assert np.allclose(got, expect, atol=1e-13)
+
+    def test_asymmetric_reach(self, rng):
+        def fn(padded):
+            sx = padded.shape[0]
+            core = (slice(2, sx), slice(None))
+            return padded[core] + 0.5 * padded[(slice(0, sx - 2), slice(None))]
+
+        op = StencilOp(fn=fn, reach=((2, 0), (0, 0)), name="up2")
+        field = rng.standard_normal((12, 5))
+        expect = run_sequential(field, [op])
+        got = run_slab_stencil(field, op, 3)
+        assert np.allclose(got, expect, atol=1e-13)
+
+    def test_partition_other_axis(self, rng):
+        field = rng.standard_normal((6, 12, 6))
+        op = star_laplacian(3)
+        expect = run_sequential(field, [op])
+        got = run_slab_stencil(field, op, 4, part_axis=1)
+        assert np.allclose(got, expect, atol=1e-13)
+
+    def test_shape_contract(self, rng):
+        bad = StencilOp(fn=lambda p: p, reach=((1, 1), (0, 0)), name="bad")
+        with pytest.raises(ValueError):
+            run_slab_stencil(rng.standard_normal((8, 4)), bad, 2)

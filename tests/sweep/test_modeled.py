@@ -1,0 +1,144 @@
+"""Modeled-time formulas cross-checked against simulated executions."""
+
+import numpy as np
+import pytest
+
+from repro.apps.workloads import random_field
+from repro.core.api import plan_multipartitioning
+from repro.simmpi.machine import MachineModel
+from repro.sweep.modeled import (
+    best_processor_count_modeled,
+    best_wavefront_chunks,
+    multipart_time,
+    transpose_time,
+    wavefront_time,
+)
+from repro.sweep.multipart import MultipartExecutor
+from repro.sweep.ops import PointwiseOp, SweepOp, thomas_ops
+from repro.sweep.transpose import TransposeExecutor
+from repro.sweep.wavefront import WavefrontExecutor
+
+
+def machine() -> MachineModel:
+    return MachineModel(
+        compute_per_point=1e-7,
+        overhead=5e-6,
+        latency=1e-5,
+        bandwidth=1e8,
+        tile_overhead=2e-6,
+    )
+
+
+def schedule(shape):
+    return thomas_ops(shape[0], 0, -1, 4, -1) + [
+        PointwiseOp(lambda b: b * 0.5, name="half"),
+        SweepOp(axis=1, mult=0.5),
+    ]
+
+
+class TestModelVsSimulation:
+    """The closed-form model must track the simulator closely (it is the
+    same accounting, minus pipeline-overlap effects)."""
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 12])
+    def test_multipart(self, p):
+        m = machine()
+        shape = (16, 16, 16)
+        sched = schedule(shape)
+        plan = plan_multipartitioning(shape, p, m.to_cost_model())
+        _, res = MultipartExecutor(plan.partitioning, shape, m).run(
+            random_field(shape), sched
+        )
+        predicted = multipart_time(shape, plan.partitioning, m, sched)
+        assert predicted == pytest.approx(res.makespan, rel=0.35)
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_transpose(self, p):
+        m = machine()
+        shape = (16, 16, 16)
+        sched = schedule(shape)
+        _, res = TransposeExecutor(p, shape, m).run(
+            random_field(shape), sched
+        )
+        predicted = transpose_time(shape, p, m, sched)
+        assert predicted == pytest.approx(res.makespan, rel=0.5)
+
+    @pytest.mark.parametrize("p,chunks", [(2, 4), (4, 4)])
+    def test_wavefront(self, p, chunks):
+        m = machine()
+        shape = (16, 16, 16)
+        sched = schedule(shape)
+        _, res = WavefrontExecutor(p, shape, m, chunks=chunks).run(
+            random_field(shape), sched
+        )
+        predicted = wavefront_time(shape, p, m, sched, chunks=chunks)
+        assert predicted == pytest.approx(res.makespan, rel=0.5)
+
+
+class TestModelBehaviour:
+    def test_multipart_aggregation_saves_startup(self):
+        m = machine()
+        shape = (24, 24, 24)
+        plan = plan_multipartitioning(shape, 6, m.to_cost_model())
+        sched = [SweepOp(axis=2, mult=0.5)]
+        agg = multipart_time(shape, plan.partitioning, m, sched, True)
+        raw = multipart_time(shape, plan.partitioning, m, sched, False)
+        assert agg <= raw
+
+    def test_wavefront_chunk_tradeoff(self):
+        """Very few chunks (long fill) and very many chunks (per-message
+        overhead) must both lose to an interior optimum."""
+        # start-up-heavy machine so huge chunk counts clearly lose
+        m = MachineModel(
+            compute_per_point=1e-7,
+            overhead=5e-5,
+            latency=1e-5,
+            bandwidth=1e8,
+        )
+        shape = (64, 64, 64)
+        sched = [SweepOp(axis=0, mult=0.5)]
+        c_best, t_best = best_wavefront_chunks(shape, 8, m, sched)
+        t_one = wavefront_time(shape, 8, m, sched, chunks=1)
+        t_max = wavefront_time(shape, 8, m, sched, chunks=64)
+        assert t_best <= t_one and t_best <= t_max
+        assert 1 < c_best < 64
+
+    def test_multipart_time_scales_down_with_p(self):
+        m = machine()
+        shape = (48, 48, 48)
+        sched = schedule(shape)
+        times = []
+        for p in (1, 4, 16):
+            plan = plan_multipartitioning(shape, p, m.to_cost_model())
+            times.append(
+                multipart_time(shape, plan.partitioning, m, sched)
+            )
+        assert times[0] > times[1] > times[2]
+
+    def test_best_processor_count_49_vs_50(self):
+        """Conclusions experiment: for class B SP on the Origin model, 49
+        compact processors beat 50 non-compact ones."""
+        from repro.apps.sp import sp_class
+        from repro.simmpi.machine import origin2000
+
+        prob = sp_class("B", steps=1)
+        p_used, _ = best_processor_count_modeled(
+            prob.shape, 50, origin2000(), prob.schedule()
+        )
+        assert p_used == 49
+
+    def test_best_processor_count_compact_keeps_all(self):
+        from repro.apps.sp import sp_class
+        from repro.simmpi.machine import origin2000
+
+        prob = sp_class("A", steps=1)
+        p_used, _ = best_processor_count_modeled(
+            prob.shape, 49, origin2000(), prob.schedule()
+        )
+        assert p_used == 49
+
+    def test_bad_pmin(self):
+        with pytest.raises(ValueError):
+            best_processor_count_modeled(
+                (16, 16, 16), 4, machine(), [], p_min=9
+            )

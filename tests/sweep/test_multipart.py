@@ -1,0 +1,193 @@
+"""Integration tests: the multipartitioned executor against the sequential
+reference, with message-count cross-checks against the static planner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.workloads import random_field
+from repro.core.api import plan_multipartitioning
+from repro.core.mapping import Multipartitioning
+from repro.core.modmap import build_modular_mapping
+from repro.sweep.multipart import MultipartExecutor
+from repro.sweep.ops import PointwiseOp, SweepOp, thomas_ops
+from repro.sweep.sequential import run_sequential
+
+
+def make_schedule(shape):
+    return (
+        thomas_ops(shape[0], 0, -1.0, 4.0, -1.0)
+        + [PointwiseOp(lambda b: 0.9 * b + 0.1, name="mix")]
+        + thomas_ops(shape[1], 1, -0.5, 3.0, -0.8)
+        + [SweepOp(axis=len(shape) - 1, mult=0.25, reverse=True)]
+    )
+
+
+class TestAgainstSequential:
+    @pytest.mark.parametrize("p", [1, 2, 4, 6, 8, 12])
+    def test_3d(self, p, machine):
+        shape = (12, 12, 12)
+        field = random_field(shape)
+        sched = make_schedule(shape)
+        ref = run_sequential(field, sched)
+        plan = plan_multipartitioning(shape, p)
+        out, _ = MultipartExecutor(
+            plan.partitioning, shape, machine
+        ).run(field, sched)
+        assert np.allclose(out, ref, atol=1e-12)
+
+    @pytest.mark.parametrize("p", [2, 3, 5, 6])
+    def test_2d(self, p, machine):
+        shape = (18, 14)
+        field = random_field(shape)
+        sched = make_schedule(shape)
+        ref = run_sequential(field, sched)
+        plan = plan_multipartitioning(shape, p)
+        out, _ = MultipartExecutor(
+            plan.partitioning, shape, machine
+        ).run(field, sched)
+        assert np.allclose(out, ref, atol=1e-12)
+
+    def test_4d(self, machine):
+        shape = (6, 6, 6, 4)
+        field = random_field(shape)
+        sched = thomas_ops(6, 0, -1, 4, -1) + thomas_ops(4, 3, -1, 4, -1)
+        ref = run_sequential(field, sched)
+        plan = plan_multipartitioning(shape, 4)
+        out, _ = MultipartExecutor(
+            plan.partitioning, shape, machine
+        ).run(field, sched)
+        assert np.allclose(out, ref, atol=1e-12)
+
+    def test_uneven_extents(self, machine):
+        """Extents not divisible by gammas (the paper's alignment caveat)."""
+        shape = (13, 11, 7)
+        field = random_field(shape)
+        sched = make_schedule(shape)
+        ref = run_sequential(field, sched)
+        plan = plan_multipartitioning(shape, 4)
+        out, _ = MultipartExecutor(
+            plan.partitioning, shape, machine
+        ).run(field, sched)
+        assert np.allclose(out, ref, atol=1e-12)
+
+    @pytest.mark.parametrize("p", [1, 4])
+    def test_input_not_mutated(self, p, machine):
+        """p=1 is the regression case: a 1x1x1 tile grid's single tile must
+        still be a copy of the input, not an alias."""
+        shape = (8, 8, 8)
+        field = random_field(shape)
+        keep = field.copy()
+        plan = plan_multipartitioning(shape, p)
+        MultipartExecutor(plan.partitioning, shape, machine).run(
+            field, make_schedule(shape)
+        )
+        assert (field == keep).all()
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        st.integers(2, 10),
+        st.tuples(
+            st.integers(10, 16), st.integers(10, 16), st.integers(10, 16)
+        ),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_property_random(self, p, shape, seed):
+        from repro.simmpi.machine import MachineModel
+
+        machine = MachineModel()
+        field = random_field(shape, seed=seed)
+        sched = make_schedule(shape)
+        ref = run_sequential(field, sched)
+        plan = plan_multipartitioning(shape, p)
+        out, _ = MultipartExecutor(
+            plan.partitioning, shape, machine
+        ).run(field, sched)
+        assert np.allclose(out, ref, atol=1e-11)
+
+
+class TestAggregation:
+    def test_same_results_both_modes(self, machine):
+        shape = (12, 12, 12)
+        field = random_field(shape)
+        sched = make_schedule(shape)
+        plan = plan_multipartitioning(shape, 6)
+        agg, res_agg = MultipartExecutor(
+            plan.partitioning, shape, machine, aggregate=True
+        ).run(field, sched)
+        raw, res_raw = MultipartExecutor(
+            plan.partitioning, shape, machine, aggregate=False
+        ).run(field, sched)
+        assert np.allclose(agg, raw, atol=1e-14)
+        assert res_raw.message_count >= res_agg.message_count
+
+    def test_aggregated_message_count_matches_plan(self, machine):
+        """Simulated message counts must equal the static planner's."""
+        from repro.hpf.commsched import plan_sweep_comm
+
+        shape = (12, 12, 12)
+        field = random_field(shape)
+        plan = plan_multipartitioning(shape, 6)
+        sched = [SweepOp(axis=0, mult=0.5)]
+        _, res = MultipartExecutor(
+            plan.partitioning, shape, machine
+        ).run(field, sched)
+        static = plan_sweep_comm(plan.partitioning, shape, axis=0)
+        assert res.message_count == static.message_count
+
+    def test_aggregation_reduces_by_tile_factor(self, machine):
+        """For gammas with several tiles per slab per rank, aggregation cuts
+        the message count by exactly that factor."""
+        shape = (12, 12, 12)
+        field = random_field(shape)
+        b = (6, 6, 2)  # p=6: slab along axis 2 has 6 tiles/rank
+        mp = Multipartitioning(build_modular_mapping(b, 6).rank_grid(b), 6)
+        sched = [SweepOp(axis=2, mult=0.5)]
+        _, agg = MultipartExecutor(mp, shape, machine, aggregate=True).run(
+            field, sched
+        )
+        _, raw = MultipartExecutor(mp, shape, machine, aggregate=False).run(
+            field, sched
+        )
+        factor = mp.tiles_per_slab_per_rank(2)
+        assert factor == 6
+        assert raw.message_count == agg.message_count * factor
+
+
+class TestBalanceInAction:
+    def test_perfect_phase_balance(self, machine):
+        """With a compact partitioning every rank computes the same points
+        per sweep — the trace must show equal busy compute per rank."""
+        shape = (16, 16, 16)
+        field = random_field(shape)
+        plan = plan_multipartitioning(shape, 16)
+        ex = MultipartExecutor(
+            plan.partitioning, shape, machine, record_events=True
+        )
+        _, res = ex.run(field, [SweepOp(axis=0, mult=0.5)])
+        per_rank = [0.0] * 16
+        for e in res.trace.events:
+            if e.kind == "compute":
+                per_rank[e.rank] += e.end - e.start
+        assert max(per_rank) - min(per_rank) < 1e-12
+
+
+class TestValidation:
+    def test_shape_rank_mismatch(self, machine):
+        plan = plan_multipartitioning((8, 8, 8), 4)
+        with pytest.raises(ValueError):
+            MultipartExecutor(plan.partitioning, (8, 8), machine)
+
+    def test_unsupported_op(self, machine):
+        plan = plan_multipartitioning((8, 8), 2)
+        ex = MultipartExecutor(plan.partitioning, (8, 8), machine)
+        with pytest.raises(TypeError):
+            ex.run(np.zeros((8, 8)), ["bogus"])
+
+    def test_pointwise_shape_change_rejected(self, machine):
+        plan = plan_multipartitioning((8, 8), 2)
+        ex = MultipartExecutor(plan.partitioning, (8, 8), machine)
+        bad = PointwiseOp(fn=lambda b: b[:1], name="shrink")
+        with pytest.raises(ValueError):
+            ex.run(np.zeros((8, 8)), [bad])

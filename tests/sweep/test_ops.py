@@ -1,0 +1,100 @@
+"""Tests for schedule op descriptors and the scan dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.sweep.ops import (
+    BlockSweepOp,
+    PointwiseOp,
+    StencilOp,
+    SweepOp,
+    block_thomas_ops,
+    scan_op,
+    star_laplacian,
+    thomas_ops,
+)
+from repro.sweep.recurrence import affine_scan, thomas_solve
+from repro.sweep.sequential import run_sequential
+
+
+class TestLabels:
+    def test_sweep_label(self):
+        assert SweepOp(axis=1).label() == "sweep(axis=1,fwd)"
+        assert SweepOp(axis=0, reverse=True).label() == "sweep(axis=0,bwd)"
+
+    def test_block_label(self):
+        mats = np.broadcast_to(np.eye(2), (3, 2, 2)).copy()
+        op = BlockSweepOp(axis=2, mult=mats, scale=mats)
+        assert "blocksweep(axis=2" in op.label()
+        assert op.components == 2
+
+    def test_pointwise_and_stencil_labels(self):
+        assert PointwiseOp(fn=lambda b: b, name="foo").label() == "foo"
+        assert star_laplacian(2).label() == "laplacian2d"
+
+
+class TestThomasOps:
+    def test_two_sweeps_forward_then_backward(self):
+        ops = thomas_ops(8, 1, -1.0, 4.0, -1.0)
+        assert len(ops) == 2
+        assert not ops[0].reverse and ops[1].reverse
+        assert ops[0].axis == ops[1].axis == 1
+
+    def test_applying_ops_solves(self, rng):
+        rhs = rng.standard_normal((10, 6))
+        via_ops = run_sequential(rhs, thomas_ops(10, 0, -1.0, 4.0, -1.0))
+        direct = thomas_solve(rhs, 0, -1.0, 4.0, -1.0)
+        assert np.allclose(via_ops, direct, atol=1e-13)
+
+
+class TestScanOpSlicing:
+    def test_sweep_slice_equivalence(self, rng):
+        """scan_op on [lo,hi) with the carry equals the matching segment of
+        a whole-axis scan."""
+        n = 12
+        data = rng.standard_normal((n, 4))
+        mult = rng.uniform(-0.9, 0.9, n)
+        op = SweepOp(axis=0, mult=mult)
+        whole = data.copy()
+        affine_scan(whole, 0, mult=mult)
+        top = data[:5].copy()
+        bottom = data[5:].copy()
+        carry = scan_op(top, op, 0, 5, n, carry=None)
+        scan_op(bottom, op, 5, n, n, carry=carry)
+        assert np.allclose(np.vstack([top, bottom]), whole, atol=1e-12)
+
+    def test_scalar_coefficients_broadcast(self, rng):
+        data = rng.standard_normal(6)
+        op = SweepOp(axis=0, mult=0.5, scale=2.0)
+        out = data.copy()
+        scan_op(out, op, 0, 6, 6, carry=None)
+        expect = data.copy()
+        affine_scan(expect, 0, mult=0.5, scale=2.0)
+        assert np.allclose(out, expect)
+
+
+class TestStarLaplacian:
+    def test_conserves_constant_interior(self):
+        field = np.full((7, 7), 3.0)
+        out = run_sequential(field, [star_laplacian(2, weight=0.2)])
+        assert out[3, 3] == pytest.approx(3.0)
+
+    def test_reach_matches_ndim(self):
+        assert star_laplacian(4).reach == ((1, 1),) * 4
+
+
+class TestStencilOpValidation:
+    def test_pad_widths_rank_check(self):
+        op = StencilOp(fn=lambda p: p, reach=((1, 1), (1, 1)))
+        with pytest.raises(ValueError):
+            op.pad_widths(3)
+        assert op.pad_widths(2) == ((1, 1), (1, 1))
+
+
+class TestBlockThomasOps:
+    def test_flops_scale_with_components(self):
+        A = -np.eye(4)
+        B = 5 * np.eye(4)
+        ops = block_thomas_ops(6, 0, A, B, A)
+        assert all(op.flops_per_point == pytest.approx(16.0) for op in ops)
+        assert all(op.components == 4 for op in ops)

@@ -1,0 +1,145 @@
+"""Tests for the recurrence kernels, including the tile-splitting property
+that the whole distributed design rests on."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sweep.recurrence import (
+    affine_scan,
+    thomas_factor,
+    thomas_solve,
+    tridiagonal_matvec,
+)
+
+
+class TestAffineScan:
+    def test_prefix_sum(self):
+        x = np.ones(5)
+        affine_scan(x, 0, mult=1.0)
+        assert x.tolist() == [1, 2, 3, 4, 5]
+
+    def test_geometric(self):
+        x = np.zeros(4)
+        x[0] = 1.0
+        affine_scan(x, 0, mult=2.0)
+        assert x.tolist() == [1, 2, 4, 8]
+
+    def test_reverse_suffix_sum(self):
+        x = np.ones(4)
+        affine_scan(x, 0, mult=1.0, reverse=True)
+        assert x.tolist() == [4, 3, 2, 1]
+
+    def test_carry_in(self):
+        x = np.ones((3, 2))
+        out = affine_scan(x, 0, mult=1.0, carry=np.full(2, 10.0))
+        assert x[0].tolist() == [11.0, 11.0]
+        assert out.tolist() == [13.0, 13.0]
+
+    def test_scale(self):
+        x = np.ones(3)
+        affine_scan(x, 0, mult=0.0, scale=np.array([1.0, 2.0, 3.0]))
+        assert x.tolist() == [1, 2, 3]
+
+    def test_axis_selection(self, rng):
+        a = rng.standard_normal((4, 5))
+        b = a.copy()
+        affine_scan(a, 1, mult=0.5)
+        for row in range(4):
+            expect = b[row].copy()
+            affine_scan(expect, 0, mult=0.5)
+            assert np.allclose(a[row], expect)
+
+    def test_negative_axis(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = a.copy()
+        affine_scan(a, -1, mult=0.3)
+        affine_scan(b, 1, mult=0.3)
+        assert (a == b).all()
+
+    def test_returns_copy_of_boundary(self):
+        x = np.ones(3)
+        out = affine_scan(x, 0, mult=1.0)
+        out += 100
+        assert x[-1] == 3.0
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            affine_scan(np.ones(3), 2, mult=1.0)
+        with pytest.raises(ValueError):
+            affine_scan(np.ones(3), 0, mult=np.ones(2))
+        with pytest.raises(ValueError):
+            affine_scan(np.ones((3, 2)), 0, mult=1.0, carry=np.ones(3))
+
+    @settings(deadline=None)
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(2, 12), st.integers(1, 6)),
+            elements=st.floats(-10, 10),
+        ),
+        st.integers(1, 10),
+        st.floats(-1.5, 1.5),
+    )
+    def test_split_equals_whole(self, data, split_at, mult):
+        """THE key property: scanning block [0:k] then [k:n] with the carry
+        equals scanning [0:n] — this is why slab-by-slab distributed sweeps
+        are exact."""
+        n = data.shape[0]
+        split_at = split_at % n or 1
+        whole = data.copy()
+        affine_scan(whole, 0, mult=mult)
+        top, bottom = data[:split_at].copy(), data[split_at:].copy()
+        carry = affine_scan(top, 0, mult=mult)
+        affine_scan(bottom, 0, mult=mult, carry=carry)
+        assert np.allclose(np.concatenate([top, bottom]), whole, atol=1e-9)
+
+
+class TestThomas:
+    def test_factor_singular_detected(self):
+        with pytest.raises(ZeroDivisionError):
+            thomas_factor(3, a=0.0, b=0.0, c=1.0)
+
+    def test_factor_rejects_empty(self):
+        with pytest.raises(ValueError):
+            thomas_factor(0, -1, 4, -1)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 33])
+    def test_solve_matches_scipy(self, n, rng):
+        a, b, c = -1.0, 4.0, -2.0
+        rhs = rng.standard_normal(n)
+        got = thomas_solve(rhs, 0, a, b, c)
+        ab = np.zeros((3, n))
+        ab[0, 1:] = c
+        ab[1, :] = b
+        ab[2, :-1] = a
+        expect = scipy.linalg.solve_banded((1, 1), ab, rhs)
+        assert np.allclose(got, expect, atol=1e-10)
+
+    def test_solve_multidimensional(self, rng):
+        rhs = rng.standard_normal((6, 5, 4))
+        got = thomas_solve(rhs, 1, -1.0, 3.0, -1.0)
+        # line-by-line reference
+        for i in range(6):
+            for k in range(4):
+                line = thomas_solve(rhs[i, :, k], 0, -1.0, 3.0, -1.0)
+                assert np.allclose(got[i, :, k], line, atol=1e-12)
+
+    def test_residual(self, rng):
+        rhs = rng.standard_normal((8, 8))
+        x = thomas_solve(rhs, 0, -1.0, 4.0, -1.0)
+        back = tridiagonal_matvec(x, 0, -1.0, 4.0, -1.0)
+        assert np.allclose(back, rhs, atol=1e-10)
+
+    def test_matvec_boundaries(self):
+        x = np.array([1.0, 0.0, 0.0])
+        y = tridiagonal_matvec(x, 0, a=10.0, b=2.0, c=100.0)
+        # y[0] = b*x0; y[1] = a*x0; y[2] = 0
+        assert y.tolist() == [2.0, 10.0, 0.0]
+
+    def test_matvec_single_point(self):
+        y = tridiagonal_matvec(np.array([3.0]), 0, 1.0, 2.0, 1.0)
+        assert y.tolist() == [6.0]

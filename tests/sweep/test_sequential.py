@@ -1,0 +1,64 @@
+"""Tests for the sequential reference executor."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi.machine import MachineModel
+from repro.sweep.ops import PointwiseOp, SweepOp, thomas_ops
+from repro.sweep.recurrence import thomas_solve
+from repro.sweep.sequential import run_sequential, sequential_time
+
+
+class TestRunSequential:
+    def test_thomas_ops_equal_direct_solve(self, rng):
+        shape = (9, 7)
+        rhs = rng.standard_normal(shape)
+        out = run_sequential(rhs, thomas_ops(9, 0, -1.0, 4.0, -1.0))
+        direct = thomas_solve(rhs, 0, -1.0, 4.0, -1.0)
+        assert np.allclose(out, direct, atol=1e-13)
+
+    def test_does_not_mutate_input(self, rng):
+        arr = rng.standard_normal((5, 5))
+        keep = arr.copy()
+        run_sequential(arr, [SweepOp(axis=0, mult=1.0)])
+        assert (arr == keep).all()
+
+    def test_pointwise(self):
+        out = run_sequential(
+            np.ones((3, 3)), [PointwiseOp(fn=lambda b: b * 3)]
+        )
+        assert (out == 3).all()
+
+    def test_pointwise_shape_change_rejected(self):
+        with pytest.raises(ValueError):
+            run_sequential(
+                np.ones((3, 3)), [PointwiseOp(fn=lambda b: b[:1])]
+            )
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(TypeError):
+            run_sequential(np.ones(3), [object()])
+
+    def test_empty_schedule_is_copy(self, rng):
+        arr = rng.standard_normal((4, 4))
+        out = run_sequential(arr, [])
+        assert (out == arr).all() and out is not arr
+
+
+class TestSequentialTime:
+    def test_sums_flops(self):
+        m = MachineModel(compute_per_point=1e-6)
+        sched = [
+            SweepOp(axis=0, flops_per_point=3.0),
+            PointwiseOp(fn=lambda b: b, flops_per_point=2.0),
+        ]
+        t = sequential_time((10, 10), sched, m)
+        assert t == pytest.approx(100 * (3 + 2) * 1e-6)
+
+    def test_no_communication_term(self):
+        fast = MachineModel(compute_per_point=1e-6, latency=0.0)
+        slow = MachineModel(compute_per_point=1e-6, latency=10.0)
+        sched = [SweepOp(axis=0)]
+        assert sequential_time((8, 8), sched, fast) == sequential_time(
+            (8, 8), sched, slow
+        )

@@ -1,0 +1,144 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestPlan:
+    def test_basic(self, capsys):
+        out = run_cli(
+            capsys, "plan", "--shape", "102,102,102", "-p", "50"
+        )
+        assert "5x10x10" in out
+        assert "generalized" in out
+        assert "moduli" in out
+
+    def test_x_separator(self, capsys):
+        out = run_cli(capsys, "plan", "--shape", "64x64x64", "-p", "16")
+        assert "4x4x4" in out
+
+    def test_objective_flag(self, capsys):
+        out = run_cli(
+            capsys,
+            "plan", "--shape", "128,128,16", "-p", "4",
+            "--objective", "volume",
+        )
+        assert "4x4x1" in out or "tile grid" in out
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "--shape", "0,4", "-p", "2"])
+        with pytest.raises(SystemExit):
+            main(["plan", "--shape", "abc", "-p", "2"])
+
+
+class TestMap:
+    def test_3d(self, capsys):
+        out = run_cli(capsys, "map", "--gammas", "4,4,2", "-p", "8")
+        assert "layer" in out
+
+    def test_4d_prints_raw(self, capsys):
+        out = run_cli(capsys, "map", "--gammas", "2,2,2,2", "-p", "4")
+        assert "[" in out
+
+
+class TestList:
+    def test_p8(self, capsys):
+        out = run_cli(capsys, "list", "-p", "8")
+        assert "8x8x1" in out
+        assert "4x4x2" in out
+
+    def test_p30_d3(self, capsys):
+        out = run_cli(capsys, "list", "-p", "30", "-d", "3")
+        assert "15x10x6" in out
+
+
+class TestTables:
+    def test_table1(self, capsys):
+        out = run_cli(capsys, "table1", "--class", "B")
+        assert "5x10x10" in out
+        assert "# CPUs" in out
+
+    def test_figure1(self, capsys):
+        out = run_cli(capsys, "figure1")
+        assert "layer k=0" in out
+
+    def test_drop(self, capsys):
+        out = run_cli(capsys, "drop", "-p", "50")
+        assert "p'=49" in out
+
+    def test_count(self, capsys):
+        out = run_cli(capsys, "count", "--limit", "250")
+        assert "#elementary" in out
+        assert "210" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+
+class TestExtensionCommands:
+    def test_bt(self, capsys):
+        out = run_cli(capsys, "bt", "--class", "B")
+        assert "speedup" in out
+        assert "7x7x7" in out
+
+    def test_locality(self, capsys):
+        out = run_cli(
+            capsys, "locality", "--gammas", "4,4,2", "-p", "8",
+            "--topology", "ring",
+        )
+        assert "mean" in out and "hops" in out
+        assert "best variant" in out
+
+    def test_locality_hypercube(self, capsys):
+        out = run_cli(
+            capsys, "locality", "--gammas", "4,4,4", "-p", "16",
+            "--topology", "hypercube",
+        )
+        assert "hypercube" in out
+
+    def test_sensitivity(self, capsys):
+        out = run_cli(
+            capsys,
+            "sensitivity", "--shape", "128,128,8", "-p", "4",
+            "--parameter", "k2", "--values", "0,1e-2",
+        )
+        assert "optimal gammas" in out
+        assert "2x2x2" in out
+
+    def test_simulate(self, capsys):
+        out = run_cli(
+            capsys, "simulate", "--shape", "12,12,12", "-p", "4",
+            "--width", "32",
+        )
+        assert "rank   0" in out
+        assert "per-op time breakdown" in out
+        assert "max error" in out
+
+    def test_diagnose(self, capsys, tmp_path):
+        import numpy as np
+
+        from repro.core.diagonal import diagonal_3d
+
+        good = tmp_path / "good.npy"
+        np.save(good, diagonal_3d(16))
+        out = run_cli(capsys, "diagnose", str(good), "-p", "16")
+        assert "valid multipartitioning" in out
+
+        bad = tmp_path / "bad.npy"
+        np.save(bad, np.zeros((2, 2), dtype=np.int64))
+        out = run_cli(capsys, "diagnose", str(bad), "-p", "2")
+        assert "NOT a multipartitioning" in out
