@@ -12,6 +12,7 @@ from repro.analysis.report import format_table
 from repro.apps.sp import SPProblem, sp_class
 from repro.apps.workloads import random_field
 from repro.core.api import plan_multipartitioning
+from repro.obs import build_profile
 from repro.simmpi.machine import origin2000
 from repro.sweep.multipart import MultipartExecutor
 from repro.sweep.sequential import run_sequential, sequential_time
@@ -46,6 +47,43 @@ def test_simulated_sp_class_s(benchmark, report):
         format_table(
             ["p", "gammas", "virtual time (s)", "speedup", "messages"], rows
         ),
+        data={
+            "bench": "simulated_sp_class_s",
+            "rows": [
+                {
+                    "p": p,
+                    "gammas": list(gammas),
+                    "makespan": makespan,
+                    "speedup": speedup,
+                    "messages": messages,
+                }
+                for p, gammas, makespan, speedup, messages in rows
+            ],
+        },
+    )
+    # full observability profile of the p=9 (compact 3x3) run — phase
+    # breakdown, comm matrix, and critical path tracked across PRs
+    plan = plan_multipartitioning(prob.shape, 9, machine.to_cost_model())
+    _, res9 = MultipartExecutor(
+        plan.partitioning, prob.shape, machine, record_events=True
+    ).run(field, sched)
+    prof = build_profile(res9.trace.events, res9.clocks)
+    report(
+        "Simulated SP (class S, p=9): phase/critical-path profile",
+        format_table(
+            ["quantity", "value"],
+            [
+                ["makespan (s)", prof["makespan"]],
+                ["efficiency", prof["efficiency"]],
+                ["critical-path compute (s)",
+                 prof["critical_path"]["compute"]],
+                ["critical-path wire (s)",
+                 prof["critical_path"]["wire"]],
+                ["critical-path wait (s)",
+                 prof["critical_path"]["wait"]],
+            ],
+        ),
+        data={"bench": "sp_class_s_profile", "profile": prof},
     )
     # scalability shape on a tiny grid holds along the compact counts
     # (1 -> 4 -> 9); non-compact counts may sag — per-tile overheads loom

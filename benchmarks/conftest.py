@@ -5,31 +5,53 @@ and *prints* the regenerated rows — run with ``pytest benchmarks/
 --benchmark-only -s`` to see them; ``report`` also appends to
 ``benchmarks/results.txt`` so a plain ``--benchmark-only`` run leaves the
 artifacts on disk for EXPERIMENTS.md.
+
+Benches may pass structured ``data`` alongside the text block; everything
+collected in a session is written to ``BENCH_profile.json`` at the repo
+root so the perf/profile trajectory is machine-readable across PRs.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 _RESULTS = pathlib.Path(__file__).parent / "results.txt"
+_PROFILE_JSON = pathlib.Path(__file__).parent.parent / "BENCH_profile.json"
+
+_records: list[dict] = []
 
 
 def pytest_configure(config):
-    # start each benchmark session with a fresh results file
+    # start each benchmark session with fresh artifacts
     if _RESULTS.exists():
         _RESULTS.unlink()
+    _records.clear()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _records:
+        with _PROFILE_JSON.open("w") as fh:
+            json.dump({"records": _records}, fh, indent=2)
+            fh.write("\n")
 
 
 @pytest.fixture(scope="session")
 def report():
-    """Print a regenerated artifact and persist it to results.txt."""
+    """Print a regenerated artifact and persist it to results.txt.
 
-    def _report(title: str, text: str) -> None:
+    ``data`` (optional) attaches a JSON-serializable payload that lands in
+    ``BENCH_profile.json`` under the same title.
+    """
+
+    def _report(title: str, text: str, data=None) -> None:
         block = f"\n===== {title} =====\n{text}\n"
         print(block)
         with _RESULTS.open("a") as fh:
             fh.write(block)
+        if data is not None:
+            _records.append({"title": title, "data": data})
 
     return _report

@@ -50,17 +50,23 @@ class ADIProblem:
 
     def step_schedule(self) -> list:
         """Ops of one ADI time step: per axis, a Thomas solve (two sweeps)
-        followed by the pointwise source injection."""
+        followed by the pointwise source injection.  Ops carry phase
+        annotations (``x_solve``, ``source``, ...) for the profiler."""
         a, b, c = self.coefficients()
         ops: list = []
         src = self.source
         for axis, n in enumerate(self.shape):
-            ops.extend(thomas_ops(n, axis, a, b, c))
+            name = "xyz"[axis] if axis < 3 else f"axis{axis}"
+            ops.extend(
+                dataclasses.replace(op, phase=f"{name}_solve")
+                for op in thomas_ops(n, axis, a, b, c)
+            )
             ops.append(
                 PointwiseOp(
                     fn=_make_source(src),
                     flops_per_point=2.0,
                     name=f"source(axis={axis})",
+                    phase="source",
                 )
             )
         return ops

@@ -73,17 +73,22 @@ class BTProblem:
 
     def solve_ops(self, axis: int) -> list:
         A, B, C = self.blocks()
-        return block_thomas_ops(self.shape[axis], axis, A, B, C)
+        ops = block_thomas_ops(self.shape[axis], axis, A, B, C)
+        return [
+            dataclasses.replace(op, phase=f"{'xyz'[axis]}_solve")
+            for op in ops
+        ]
 
     def step_schedule(self) -> list:
         ops: list = [
             PointwiseOp(fn=_bt_rhs, flops_per_point=_RHS_FLOPS,
-                        name="compute_rhs")
+                        name="compute_rhs", phase="rhs")
         ]
         for axis in range(3):
             ops.extend(self.solve_ops(axis))
         ops.append(
-            PointwiseOp(fn=_bt_add, flops_per_point=_ADD_FLOPS, name="add")
+            PointwiseOp(fn=_bt_add, flops_per_point=_ADD_FLOPS, name="add",
+                        phase="add")
         )
         return ops
 

@@ -76,11 +76,17 @@ class SPProblem:
 
     def solve_ops(self, axis: int) -> list:
         """The pentadiagonal solve along ``axis``: two Thomas solves of the
-        tridiagonal factor (4 sweeps)."""
+        tridiagonal factor (4 sweeps).  All four sweeps share one phase
+        annotation (``x_solve``/``y_solve``/``z_solve``) so profiles
+        attribute their time to the solve they implement."""
         n = self.shape[axis]
         one = thomas_ops(n, axis, self.a, self.b, self.a)
         one = [
-            dataclasses.replace(op, flops_per_point=_SWEEP_FLOPS)
+            dataclasses.replace(
+                op,
+                flops_per_point=_SWEEP_FLOPS,
+                phase=f"{'xyz'[axis]}_solve",
+            )
             for op in one
         ]
         return one + [dataclasses.replace(op) for op in one]
@@ -93,18 +99,19 @@ class SPProblem:
                 reach=((1, 1), (1, 1), (1, 1)),
                 flops_per_point=_RHS_FLOPS,
                 name="compute_rhs",
+                phase="rhs",
             )
         else:
             rhs_op = PointwiseOp(
                 fn=_compute_rhs, flops_per_point=_RHS_FLOPS,
-                name="compute_rhs",
+                name="compute_rhs", phase="rhs",
             )
         ops: list = [rhs_op]
         for axis in range(3):
             ops.extend(self.solve_ops(axis))
         ops.append(
             PointwiseOp(fn=_add_update, flops_per_point=_ADD_FLOPS,
-                        name="add")
+                        name="add", phase="add")
         )
         return ops
 
@@ -134,6 +141,7 @@ class SPProblem:
                 name="compute_rhs",
                 array="u",
                 out_array="rhs",
+                phase="rhs",
             )
         ]
         for axis in range(3):
@@ -148,6 +156,7 @@ class SPProblem:
                 source="rhs",
                 flops_per_point=_ADD_FLOPS,
                 name="add",
+                phase="add",
             )
         )
         return ops

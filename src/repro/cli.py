@@ -113,6 +113,31 @@ def build_parser() -> argparse.ArgumentParser:
     diag.add_argument("path", help=".npy file holding the owner table")
     diag.add_argument("-p", "--nprocs", type=int, required=True)
 
+    prof = sub.add_parser(
+        "profile",
+        help="run a phase-annotated app on the simulator and report where "
+        "virtual time goes: per-phase profile, per-rank activity, "
+        "communication matrix, critical path",
+    )
+    prof.add_argument("--shape", type=_shape, default=(16, 16, 16))
+    prof.add_argument("-p", "--nprocs", type=int, default=4)
+    prof.add_argument("--app", default="sp", choices=["sp", "bt", "adi"])
+    prof.add_argument("--steps", type=int, default=1)
+    prof.add_argument(
+        "--json", action="store_true",
+        help="emit the profile document as JSON instead of text",
+    )
+    prof.add_argument(
+        "--chrome", metavar="PATH",
+        help="also write an enriched Chrome/Perfetto trace (phase rows + "
+        "counter tracks) to PATH",
+    )
+    prof.add_argument(
+        "--jsonl", metavar="PATH",
+        help="also stream raw events to PATH as JSONL (one event per line "
+        "+ final run_end record)",
+    )
+
     return parser
 
 
@@ -326,6 +351,44 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"{run_res.efficiency():.2f}",
             file=out,
         )
+        return 0
+
+    if args.command == "profile":
+        import json
+
+        from repro.obs import build_profile, format_profile, run_profiled_app
+        from repro.obs.sinks import JsonlSink
+        from repro.simmpi.traceio import write_chrome_trace
+
+        sinks = []
+        if args.jsonl:
+            sinks.append(JsonlSink(args.jsonl))
+        _, run_res = run_profiled_app(
+            args.app, args.shape, args.nprocs, steps=args.steps,
+            sinks=tuple(sinks),
+        )
+        profile = {
+            "app": args.app,
+            "shape": list(args.shape),
+            "steps": args.steps,
+            **build_profile(run_res.trace.events, run_res.clocks),
+        }
+        if args.chrome:
+            with open(args.chrome, "w") as fh:
+                write_chrome_trace(run_res.trace, fh)
+            print(f"chrome trace written to {args.chrome}", file=sys.stderr)
+        if args.jsonl:
+            print(f"event stream written to {args.jsonl}", file=sys.stderr)
+        if args.json:
+            json.dump(profile, out, indent=2)
+            out.write("\n")
+        else:
+            print(
+                f"{args.app} {'x'.join(map(str, args.shape))} on "
+                f"{args.nprocs} ranks, {args.steps} step(s)",
+                file=out,
+            )
+            print(format_profile(profile), file=out)
         return 0
 
     if args.command == "diagnose":

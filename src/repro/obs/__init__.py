@@ -1,0 +1,76 @@
+"""Observability for the simulator: metrics, phase spans, trace sinks,
+derived analyses, and critical-path extraction.
+
+The paper's claims are statements about *where virtual time goes* — phase
+counts per sweep, aggregated message volume, balance of the modular
+mapping.  This package turns the engine's event stream into those
+quantities:
+
+* :mod:`~repro.obs.metrics` — counters / gauges / histograms with per-rank
+  and aggregated views (:class:`MetricsRegistry`);
+* :mod:`~repro.obs.sinks` — streaming consumers of engine events
+  (JSONL file, bounded ring buffer, metrics fold-in) so long runs do not
+  need O(events) memory;
+* :mod:`~repro.obs.derive` — per-phase profiles, per-rank activity
+  breakdowns, and src->dst communication matrices;
+* :mod:`~repro.obs.critical` — the longest chain through the event
+  dependency DAG with its compute / comm-cpu / wire decomposition;
+* :mod:`~repro.obs.profile` — the ``repro profile`` document: one
+  JSON-able dict per run, plus its text rendering.
+
+Phase spans come from the rank programs themselves: schedule ops carry a
+``phase`` annotation the executor turns into begin/end marks, or rank code
+uses ``comm.phase("x_sweep", inner)`` / ``comm.phase_begin``/``phase_end``
+directly.  The engine stamps every event with the innermost open phase.
+"""
+
+from .critical import CriticalPath, PathSegment, critical_path
+from .derive import (
+    UNPHASED,
+    PhaseStat,
+    RankActivity,
+    comm_matrix,
+    comm_matrix_by_phase,
+    per_rank_events,
+    phase_profile,
+    rank_activity,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import build_profile, format_profile, run_profiled_app
+from .sinks import (
+    JsonlSink,
+    MetricsSink,
+    RingBufferSink,
+    TraceSink,
+    event_from_dict,
+    event_to_dict,
+    read_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceSink",
+    "JsonlSink",
+    "RingBufferSink",
+    "MetricsSink",
+    "event_to_dict",
+    "event_from_dict",
+    "read_jsonl",
+    "UNPHASED",
+    "RankActivity",
+    "PhaseStat",
+    "rank_activity",
+    "phase_profile",
+    "comm_matrix",
+    "comm_matrix_by_phase",
+    "per_rank_events",
+    "CriticalPath",
+    "PathSegment",
+    "critical_path",
+    "build_profile",
+    "format_profile",
+    "run_profiled_app",
+]

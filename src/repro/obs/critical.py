@@ -1,0 +1,190 @@
+"""Critical-path extraction from the event dependency DAG.
+
+A simulated run induces a DAG: each rank's timed events form a chain
+(an event cannot start before its predecessor ends), and every receive
+additionally depends on its matching send through a *message edge* whose
+weight is the wire time (transfer latency plus, on a bus, channel waiting).
+The engine's timing rule ``recv.start = max(prev.end, arrival)`` means each
+event's start is *tight* against exactly one of its dependencies, so
+walking tight edges backwards from the last-finishing event yields the
+longest chain — the critical path.  Its length always equals the makespan;
+what matters is its *composition*: how much is compute, how much message
+endpoint CPU, how much wire, and through which ranks and phases it runs.
+
+Matching sends to receives uses the ``peer``/``tag`` stamps on events and
+the engine's per-(source, dest, tag) FIFO discipline, so extraction needs
+only the event stream — it works identically on a re-read JSONL trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict, deque
+
+from repro.simmpi.trace import TraceEvent
+
+from .derive import per_rank_events
+
+__all__ = ["PathSegment", "CriticalPath", "critical_path"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PathSegment:
+    """One event on the critical path (chronological order)."""
+
+    rank: int
+    kind: str        # compute | send | recv | wire
+    start: float
+    end: float
+    detail: str = ""
+    phase: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclasses.dataclass(frozen=True)
+class CriticalPath:
+    """The longest dependency chain of a run, with its decomposition.
+
+    ``length == compute + comm_cpu + wire + wait`` (wait is the residual
+    from floating-point accumulation and same-time ties; it is ~0 on the
+    engine's tight-constraint timing).
+    """
+
+    segments: tuple[PathSegment, ...]
+    length: float
+    compute_seconds: float
+    comm_cpu_seconds: float
+    wire_seconds: float
+
+    @property
+    def wait_seconds(self) -> float:
+        return self.length - (
+            self.compute_seconds + self.comm_cpu_seconds + self.wire_seconds
+        )
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        """Distinct ranks the path runs through, in path order."""
+        seen: list[int] = []
+        for seg in self.segments:
+            if seg.kind != "wire" and (not seen or seen[-1] != seg.rank):
+                seen.append(seg.rank)
+        return tuple(seen)
+
+    def phase_breakdown(self) -> dict[str, float]:
+        """Seconds of path time per phase (wire edges attributed to the
+        receiving side's phase)."""
+        out: dict[str, float] = defaultdict(float)
+        for seg in self.segments:
+            out[seg.phase or "(unphased)"] += seg.duration
+        return dict(out)
+
+
+def _match_messages(
+    timelines: dict[int, list[TraceEvent]],
+) -> dict[int, dict[int, tuple[int, int]]]:
+    """For every recv event, find its matching send event.
+
+    Returns ``{rank: {event_index: (send_rank, send_index)}}`` where
+    indices refer to positions in the per-rank timelines.  Matching
+    replays the engine's FIFO discipline per (source, dest, tag).
+    """
+    send_queues: dict[tuple[int, int, int], deque[tuple[int, int]]] = (
+        defaultdict(deque)
+    )
+    for rank in sorted(timelines):
+        for idx, e in enumerate(timelines[rank]):
+            if e.kind == "send":
+                send_queues[(rank, e.peer, e.tag)].append((rank, idx))
+    matches: dict[int, dict[int, tuple[int, int]]] = defaultdict(dict)
+    for rank in sorted(timelines):
+        for idx, e in enumerate(timelines[rank]):
+            if e.kind != "recv":
+                continue
+            queue = send_queues[(e.peer, rank, e.tag)]
+            if not queue:
+                raise ValueError(
+                    f"trace is inconsistent: recv on rank {rank} from "
+                    f"{e.peer} tag {e.tag} has no matching send"
+                )
+            matches[rank][idx] = queue.popleft()
+    return matches
+
+
+def critical_path(
+    events: list[TraceEvent], clocks: tuple[float, ...]
+) -> CriticalPath:
+    """Extract the longest dependency chain of a recorded run.
+
+    Requires events with ``peer``/``tag``/``arrival`` stamps (any trace
+    recorded by the current engine).  Raises ``ValueError`` on an empty
+    stream.
+    """
+    timelines = {
+        rank: [e for e in evs if e.kind != "mark"]
+        for rank, evs in per_rank_events(events, nprocs=len(clocks)).items()
+    }
+    if not any(timelines.values()):
+        raise ValueError("trace has no events — run with record_events=True "
+                         "or attach a sink")
+    matches = _match_messages(timelines)
+
+    # start from the last event of the first rank attaining the makespan
+    makespan = max(clocks)
+    end_rank = min(
+        r for r in range(len(clocks))
+        if clocks[r] == makespan and timelines[r]
+    )
+    rank, idx = end_rank, len(timelines[end_rank]) - 1
+
+    reversed_segments: list[PathSegment] = []
+    compute = comm_cpu = wire = 0.0
+    while idx >= 0:
+        e = timelines[rank][idx]
+        reversed_segments.append(
+            PathSegment(
+                rank=rank,
+                kind=e.kind,
+                start=e.start,
+                end=e.end,
+                detail=e.detail,
+                phase=e.phase,
+            )
+        )
+        duration = e.end - e.start
+        if e.kind == "compute":
+            compute += duration
+        else:
+            comm_cpu += duration
+        prev_end = timelines[rank][idx - 1].end if idx > 0 else 0.0
+        if e.kind == "recv" and e.arrival > prev_end:
+            # message-bound: the chain continues through the sender
+            send_rank, send_idx = matches[rank][idx]
+            send_event = timelines[send_rank][send_idx]
+            wire += e.arrival - send_event.end
+            reversed_segments.append(
+                PathSegment(
+                    rank=send_rank,
+                    kind="wire",
+                    start=send_event.end,
+                    end=e.arrival,
+                    detail=f"{send_rank}->{rank} tag={e.tag}",
+                    phase=e.phase,
+                )
+            )
+            rank, idx = send_rank, send_idx
+        else:
+            idx -= 1
+
+    segments = tuple(reversed(reversed_segments))
+    length = makespan - segments[0].start if segments else 0.0
+    return CriticalPath(
+        segments=segments,
+        length=length,
+        compute_seconds=compute,
+        comm_cpu_seconds=comm_cpu,
+        wire_seconds=wire,
+    )

@@ -1,0 +1,226 @@
+"""Derived analyses over recorded (or re-read) event streams.
+
+Pure functions of ``(events, clocks)``: the same results come out whether
+the events live in an in-memory :class:`~repro.simmpi.trace.Trace` or were
+streamed to disk by :class:`~repro.obs.sinks.JsonlSink` and read back —
+the byte-identical-replay property the tests pin down.
+
+Conventions
+-----------
+* Events of one rank appear in chronological order in the stream (the
+  engine guarantees this); events of different ranks may interleave.
+* Per-rank *elapsed* attribution: each event owns the interval from the
+  previous event's end on its rank (0 at the start) to its own end, so the
+  gap a rank spends blocked before a receive belongs to that receive — and
+  to the phase the receive is in.  Summing elapsed time over phases
+  therefore reproduces each rank's final clock exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+
+from repro.simmpi.trace import TraceEvent
+
+__all__ = [
+    "RankActivity",
+    "PhaseStat",
+    "rank_activity",
+    "phase_profile",
+    "comm_matrix",
+    "comm_matrix_by_phase",
+    "per_rank_events",
+]
+
+#: phase key used for time spent outside any open phase
+UNPHASED = "(unphased)"
+
+
+def per_rank_events(
+    events: list[TraceEvent], nprocs: int | None = None
+) -> dict[int, list[TraceEvent]]:
+    """Split a stream into per-rank chronological timelines."""
+    out: dict[int, list[TraceEvent]] = defaultdict(list)
+    if nprocs is not None:
+        for rank in range(nprocs):
+            out[rank] = []
+    for e in events:
+        out[e.rank].append(e)
+    return dict(out)
+
+
+@dataclasses.dataclass(frozen=True)
+class RankActivity:
+    """Where one rank's share of the makespan went.
+
+    ``compute + send + recv + blocked + idle == makespan`` (blocked = gaps
+    before receives while waiting for a message; idle = tail after the
+    rank's last event until the global makespan).
+    """
+
+    rank: int
+    compute: float
+    send: float
+    recv: float
+    blocked: float
+    idle: float
+    clock: float
+
+    @property
+    def busy(self) -> float:
+        return self.compute + self.send + self.recv
+
+
+def rank_activity(
+    events: list[TraceEvent], clocks: tuple[float, ...]
+) -> list[RankActivity]:
+    """Per-rank busy/blocked/idle breakdown of a run."""
+    makespan = max(clocks) if clocks else 0.0
+    timelines = per_rank_events(events, nprocs=len(clocks))
+    out = []
+    for rank in range(len(clocks)):
+        compute = send = recv = blocked = 0.0
+        last_end = 0.0
+        for e in timelines[rank]:
+            if e.kind == "mark":
+                continue
+            gap = e.start - last_end
+            if gap > 0:
+                blocked += gap
+            duration = e.end - e.start
+            if e.kind == "compute":
+                compute += duration
+            elif e.kind == "send":
+                send += duration
+            elif e.kind == "recv":
+                recv += duration
+            last_end = e.end
+        out.append(
+            RankActivity(
+                rank=rank,
+                compute=compute,
+                send=send,
+                recv=recv,
+                blocked=blocked,
+                idle=makespan - last_end,
+                clock=clocks[rank],
+            )
+        )
+    return out
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseStat:
+    """Aggregate view of one (hierarchical) phase across ranks."""
+
+    phase: str
+    per_rank: dict[int, float]   # elapsed seconds (incl. blocked waits)
+    compute: float
+    comm: float                  # send + recv endpoint time
+    blocked: float
+    messages: int
+    nbytes: int
+
+    @property
+    def elapsed(self) -> float:
+        return sum(self.per_rank.values())
+
+    @property
+    def max_rank_elapsed(self) -> float:
+        return max(self.per_rank.values()) if self.per_rank else 0.0
+
+    def imbalance(self) -> float:
+        """max/mean elapsed across participating ranks (1.0 = perfectly
+        balanced — the paper's balance property, measured)."""
+        if not self.per_rank:
+            return 1.0
+        mean = self.elapsed / len(self.per_rank)
+        return self.max_rank_elapsed / mean if mean > 0 else 1.0
+
+
+def phase_profile(
+    events: list[TraceEvent], clocks: tuple[float, ...]
+) -> list[PhaseStat]:
+    """Fold a stream into per-phase statistics, in first-seen order.
+
+    Each rank's elapsed time (event duration plus the blocked gap before
+    it) is attributed to the event's phase path; time outside any phase
+    lands in :data:`UNPHASED`.  For every rank, the per-phase elapsed
+    times sum to that rank's final clock.
+    """
+    order: list[str] = []
+    per_rank: dict[str, dict[int, float]] = defaultdict(
+        lambda: defaultdict(float)
+    )
+    compute: dict[str, float] = defaultdict(float)
+    comm: dict[str, float] = defaultdict(float)
+    blocked: dict[str, float] = defaultdict(float)
+    messages: dict[str, int] = defaultdict(int)
+    nbytes: dict[str, int] = defaultdict(int)
+    last_end: dict[int, float] = defaultdict(float)
+    for e in events:
+        phase = e.phase or UNPHASED
+        if phase not in per_rank:
+            order.append(phase)
+            per_rank[phase]  # materialize in first-seen order
+        if e.kind == "mark":
+            continue
+        gap = e.start - last_end[e.rank]
+        per_rank[phase][e.rank] += (e.end - e.start) + max(0.0, gap)
+        last_end[e.rank] = e.end
+        duration = e.end - e.start
+        if e.kind == "compute":
+            compute[phase] += duration
+        elif e.kind in ("send", "recv"):
+            comm[phase] += duration
+            if e.kind == "send":
+                messages[phase] += 1
+                nbytes[phase] += e.nbytes
+        if gap > 0 and e.kind == "recv":
+            blocked[phase] += gap
+    return [
+        PhaseStat(
+            phase=phase,
+            per_rank=dict(sorted(per_rank[phase].items())),
+            compute=compute[phase],
+            comm=comm[phase],
+            blocked=blocked[phase],
+            messages=messages[phase],
+            nbytes=nbytes[phase],
+        )
+        for phase in order
+    ]
+
+
+def comm_matrix(
+    events: list[TraceEvent],
+) -> dict[tuple[int, int], tuple[int, int]]:
+    """(src, dst) -> (message count, bytes) over the whole run.
+
+    Built from send events, so it matches ``Trace.message_count`` /
+    ``Trace.total_bytes`` exactly.
+    """
+    out: dict[tuple[int, int], list[int]] = defaultdict(lambda: [0, 0])
+    for e in events:
+        if e.kind == "send":
+            cell = out[(e.rank, e.peer)]
+            cell[0] += 1
+            cell[1] += e.nbytes
+    return {pair: (c, b) for pair, (c, b) in sorted(out.items())}
+
+
+def comm_matrix_by_phase(
+    events: list[TraceEvent],
+) -> dict[str, dict[tuple[int, int], tuple[int, int]]]:
+    """Per-phase communication matrices, in first-seen phase order."""
+    grouped: dict[str, list[TraceEvent]] = defaultdict(list)
+    order: list[str] = []
+    for e in events:
+        if e.kind != "send":
+            continue
+        phase = e.phase or UNPHASED
+        if phase not in grouped:
+            order.append(phase)
+        grouped[phase].append(e)
+    return {phase: comm_matrix(grouped[phase]) for phase in order}

@@ -1,0 +1,188 @@
+"""Metric primitives: counters, gauges and histograms with per-rank views.
+
+A :class:`MetricsRegistry` is a named collection of metrics.  Every metric
+keeps one value (or bucket array) *per rank* plus cheap aggregation, so the
+same registry answers both "how many bytes did the run move" and "is rank 3
+sending twice as much as everyone else" — the load-balance question the
+paper's balance property is about.
+
+Registries are plain in-memory objects; :meth:`MetricsRegistry.snapshot`
+renders everything as JSON-serializable dicts for reports and benchmarks.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+from collections import defaultdict
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: default histogram bucket upper bounds (values land in the first bucket
+#: whose bound is >= value; one overflow bucket catches the rest)
+DEFAULT_BOUNDS = (
+    1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+
+@dataclasses.dataclass
+class Counter:
+    """Monotonically increasing per-rank count (messages, bytes, seconds)."""
+
+    name: str
+    _per_rank: dict[int, float] = dataclasses.field(
+        default_factory=lambda: defaultdict(float)
+    )
+
+    def inc(self, rank: int, value: float = 1.0) -> None:
+        if value < 0:
+            raise ValueError(f"counter {self.name}: increment must be >= 0")
+        self._per_rank[rank] += value
+
+    @property
+    def total(self) -> float:
+        return sum(self._per_rank.values())
+
+    def per_rank(self) -> dict[int, float]:
+        return dict(sorted(self._per_rank.items()))
+
+    def value(self, rank: int) -> float:
+        return self._per_rank.get(rank, 0.0)
+
+
+@dataclasses.dataclass
+class Gauge:
+    """Last-value-wins per-rank measurement (final clock, queue depth)."""
+
+    name: str
+    _per_rank: dict[int, float] = dataclasses.field(default_factory=dict)
+
+    def set(self, rank: int, value: float) -> None:
+        self._per_rank[rank] = value
+
+    def per_rank(self) -> dict[int, float]:
+        return dict(sorted(self._per_rank.items()))
+
+    def value(self, rank: int) -> float:
+        return self._per_rank.get(rank, 0.0)
+
+    @property
+    def max(self) -> float:
+        return max(self._per_rank.values()) if self._per_rank else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self._per_rank.values()) if self._per_rank else 0.0
+
+
+class Histogram:
+    """Bucketed distribution with per-rank and aggregated counts.
+
+    ``bounds`` are inclusive upper bucket edges; an implicit overflow
+    bucket collects everything beyond the last bound.
+    """
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = DEFAULT_BOUNDS):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be a sorted non-empty "
+                             "sequence")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self._counts: dict[int, list[int]] = defaultdict(
+            lambda: [0] * (len(self.bounds) + 1)
+        )
+        self._sum: dict[int, float] = defaultdict(float)
+
+    def observe(self, rank: int, value: float) -> None:
+        idx = bisect.bisect_left(self.bounds, value)
+        self._counts[rank][idx] += 1
+        self._sum[rank] += value
+
+    def counts(self, rank: int | None = None) -> list[int]:
+        """Bucket counts for one rank, or aggregated over all ranks."""
+        if rank is not None:
+            return list(self._counts.get(rank, [0] * (len(self.bounds) + 1)))
+        total = [0] * (len(self.bounds) + 1)
+        for buckets in self._counts.values():
+            for i, c in enumerate(buckets):
+                total[i] += c
+        return total
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts())
+
+    @property
+    def sum(self) -> float:
+        return sum(self._sum.values())
+
+    def per_rank(self) -> dict[int, list[int]]:
+        return {r: list(c) for r, c in sorted(self._counts.items())}
+
+
+class MetricsRegistry:
+    """Named collection of counters, gauges and histograms.
+
+    ``counter``/``gauge``/``histogram`` create on first use and return the
+    existing metric afterwards; requesting an existing name as a different
+    metric type raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+
+    def _get(self, name: str, cls, factory):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}"
+                )
+            return existing
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BOUNDS
+    ) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name, bounds))
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict:
+        """JSON-serializable view of every metric (ranks become strings)."""
+        out: dict[str, dict] = {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out["counters"][name] = {
+                    "total": metric.total,
+                    "per_rank": {
+                        str(r): v for r, v in metric.per_rank().items()
+                    },
+                }
+            elif isinstance(metric, Gauge):
+                out["gauges"][name] = {
+                    str(r): v for r, v in metric.per_rank().items()
+                }
+            elif isinstance(metric, Histogram):
+                out["histograms"][name] = {
+                    "bounds": list(metric.bounds),
+                    "counts": metric.counts(),
+                    "sum": metric.sum,
+                    "per_rank": {
+                        str(r): c for r, c in metric.per_rank().items()
+                    },
+                }
+        return out

@@ -1,0 +1,197 @@
+"""Trace sinks: streaming consumers of engine events.
+
+The engine fans every :class:`~repro.simmpi.trace.TraceEvent` out to its
+sinks *as it happens*, independent of whether the in-memory trace records
+events.  That breaks the old "profiling a long run needs O(events) memory"
+coupling:
+
+* :class:`JsonlSink` streams events to disk, one JSON object per line, with
+  a final ``run_end`` record carrying the rank clocks — the whole derived
+  analysis stack (:mod:`repro.obs.derive`, :mod:`repro.obs.critical`)
+  reproduces identical results from a re-read file.
+* :class:`RingBufferSink` keeps only the last ``capacity`` events (the
+  flight-recorder pattern: bounded memory, recent history on failure).
+* :class:`MetricsSink` folds events into a
+  :class:`~repro.obs.metrics.MetricsRegistry` without storing any of them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from collections import deque
+from typing import IO, Iterable
+
+from repro.simmpi.trace import RunResult, TraceEvent
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "TraceSink",
+    "JsonlSink",
+    "RingBufferSink",
+    "MetricsSink",
+    "event_to_dict",
+    "event_from_dict",
+    "read_jsonl",
+]
+
+
+def event_to_dict(event: TraceEvent) -> dict:
+    return dataclasses.asdict(event)
+
+
+def event_from_dict(doc: dict) -> TraceEvent:
+    return TraceEvent(**doc)
+
+
+class TraceSink:
+    """Callback interface for engine event streams.
+
+    Subclasses override :meth:`on_event`; :meth:`on_run_end` is called once
+    with the finished :class:`~repro.simmpi.trace.RunResult`.
+    """
+
+    def on_event(self, event: TraceEvent) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def on_run_end(self, result: RunResult) -> None:
+        pass
+
+
+class JsonlSink(TraceSink):
+    """Stream events to a JSONL file (or open text handle).
+
+    The last line is ``{"kind": "run_end", "clocks": [...]}`` so the file
+    alone reconstructs everything the derived analyses need.  Use as a
+    context manager or call :meth:`close` when passing a path.
+    """
+
+    def __init__(self, target: str | pathlib.Path | IO[str]):
+        if isinstance(target, (str, pathlib.Path)):
+            self._fh: IO[str] = open(target, "w")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self.events_written = 0
+
+    def on_event(self, event: TraceEvent) -> None:
+        self._fh.write(json.dumps(event_to_dict(event)) + "\n")
+        self.events_written += 1
+
+    def on_run_end(self, result: RunResult) -> None:
+        self._fh.write(
+            json.dumps({"kind": "run_end", "clocks": list(result.clocks)})
+            + "\n"
+        )
+        self.close()
+
+    def close(self) -> None:
+        if self._owns and not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_jsonl(
+    source: str | pathlib.Path | Iterable[str],
+) -> tuple[list[TraceEvent], tuple[float, ...] | None]:
+    """Read a :class:`JsonlSink` file back into ``(events, clocks)``.
+
+    ``clocks`` is ``None`` when the stream has no ``run_end`` record (e.g.
+    the run crashed mid-way — the events up to the crash are still usable).
+    """
+    if isinstance(source, (str, pathlib.Path)):
+        with open(source) as fh:
+            lines = fh.readlines()
+    else:
+        lines = list(source)
+    events: list[TraceEvent] = []
+    clocks: tuple[float, ...] | None = None
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        doc = json.loads(line)
+        if doc.get("kind") == "run_end":
+            clocks = tuple(doc["clocks"])
+        else:
+            events.append(event_from_dict(doc))
+    return events, clocks
+
+
+class RingBufferSink(TraceSink):
+    """Keep only the most recent ``capacity`` events (bounded memory)."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.events_seen = 0
+
+    def on_event(self, event: TraceEvent) -> None:
+        self._events.append(event)
+        self.events_seen += 1
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        return self.events_seen - len(self._events)
+
+
+class MetricsSink(TraceSink):
+    """Fold the event stream into a :class:`MetricsRegistry`.
+
+    Maintains, per rank: message/byte counters, per-kind busy-seconds
+    counters, a message-size histogram, blocked-seconds (gaps the rank
+    spent waiting before a receive matched) and final-clock gauges.
+    """
+
+    _BYTE_BOUNDS = (64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0,
+                    262144.0, 1048576.0)
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._last_end: dict[int, float] = {}
+
+    def on_event(self, event: TraceEvent) -> None:
+        reg = self.registry
+        rank = event.rank
+        if event.kind == "send":
+            reg.counter("sim.messages").inc(rank)
+            reg.counter("sim.bytes").inc(rank, event.nbytes)
+            reg.counter("sim.send_seconds").inc(
+                rank, event.end - event.start
+            )
+            reg.histogram("sim.msg_nbytes", self._BYTE_BOUNDS).observe(
+                rank, event.nbytes
+            )
+        elif event.kind == "recv":
+            reg.counter("sim.recv_seconds").inc(
+                rank, event.end - event.start
+            )
+            gap = event.start - self._last_end.get(rank, 0.0)
+            if gap > 0:
+                reg.counter("sim.blocked_seconds").inc(rank, gap)
+        elif event.kind == "compute":
+            reg.counter("sim.compute_seconds").inc(
+                rank, event.end - event.start
+            )
+        if event.kind != "mark":
+            self._last_end[rank] = event.end
+
+    def on_run_end(self, result: RunResult) -> None:
+        clock = self.registry.gauge("sim.clock_seconds")
+        for rank, value in enumerate(result.clocks):
+            clock.set(rank, value)
+        self.registry.gauge("sim.makespan_seconds").set(0, result.makespan)

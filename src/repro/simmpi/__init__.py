@@ -26,7 +26,16 @@ from typing import Callable
 from .comm import Comm, Request
 from .engine import Engine, SimDeadlockError, run_programs
 from .machine import MachineModel, bus, ethernet_cluster, origin2000
-from .message import ANY_TAG, Bytes, ComputeOp, MarkOp, RecvOp, SendOp
+from .message import (
+    ANY_TAG,
+    PHASE_BEGIN,
+    PHASE_END,
+    Bytes,
+    ComputeOp,
+    MarkOp,
+    RecvOp,
+    SendOp,
+)
 from .topology import (
     FullyConnected,
     Hypercube,
@@ -50,6 +59,8 @@ __all__ = [
     "ethernet_cluster",
     "bus",
     "ANY_TAG",
+    "PHASE_BEGIN",
+    "PHASE_END",
     "Bytes",
     "ComputeOp",
     "MarkOp",
@@ -76,6 +87,7 @@ def run(
     nprocs: int,
     *args,
     record_events: bool = False,
+    sinks=(),
     **kwargs,
 ) -> RunResult:
     """Instantiate ``program(Comm(rank, nprocs), *args, **kwargs)`` for every
@@ -83,4 +95,6 @@ def run(
     generators = [
         program(Comm(rank, nprocs), *args, **kwargs) for rank in range(nprocs)
     ]
-    return run_programs(machine, generators, record_events=record_events)
+    return run_programs(
+        machine, generators, record_events=record_events, sinks=sinks
+    )

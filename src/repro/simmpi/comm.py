@@ -17,9 +17,18 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator
 
-from .message import ComputeOp, MarkOp, RecvOp, SendOp
+from .message import PHASE_BEGIN, PHASE_END, ComputeOp, MarkOp, RecvOp, SendOp
 
 __all__ = ["Comm", "Request"]
+
+
+def _check_phase_label(label: str) -> str:
+    if not label or "/" in label:
+        raise ValueError(
+            f"phase label must be non-empty and must not contain '/': "
+            f"{label!r}"
+        )
+    return label
 
 
 class Request:
@@ -131,6 +140,32 @@ class Comm:
     def mark(self, label: str) -> Generator:
         """Emit a trace marker."""
         yield MarkOp(label=label)
+
+    # -- phase spans -----------------------------------------------------------
+
+    def phase_begin(self, label: str) -> Generator:
+        """Open a phase span: all subsequent events on this rank are
+        attributed to ``label`` (phases nest — the innermost wins) until the
+        matching :meth:`phase_end`."""
+        yield MarkOp(label=PHASE_BEGIN + _check_phase_label(label))
+
+    def phase_end(self, label: str) -> Generator:
+        """Close the innermost phase span; ``label`` must match the open
+        phase (the engine validates nesting)."""
+        yield MarkOp(label=PHASE_END + _check_phase_label(label))
+
+    def phase(self, label: str, inner: Generator) -> Generator:
+        """Run the sub-generator ``inner`` inside a phase span::
+
+            result = yield from comm.phase("x_sweep", self._sweep(...))
+
+        Equivalent to a ``phase_begin``/``phase_end`` pair around
+        ``yield from inner``; returns ``inner``'s return value.
+        """
+        yield from self.phase_begin(label)
+        result = yield from inner
+        yield from self.phase_end(label)
+        return result
 
     # -- collectives ----------------------------------------------------------
 

@@ -18,10 +18,26 @@ Timing semantics (see :class:`~repro.simmpi.machine.MachineModel`):
 On a *bus* network all transfers additionally serialize through a shared
 channel: each message's wire occupancy begins no earlier than the channel's
 previous release.
+
+Observability hooks
+-------------------
+
+* Every event also flows through the engine's *trace sinks* — objects with
+  an ``on_event(TraceEvent)`` method (and optionally ``on_run_end(result)``)
+  passed via the ``sinks`` argument.  Sinks see all events even when
+  ``record_events=False``, which is how long runs stream to disk
+  (:class:`repro.obs.sinks.JsonlSink`) or keep a bounded window
+  (:class:`repro.obs.sinks.RingBufferSink`) without O(events) memory.
+* ``MarkOp`` labels prefixed with :data:`~repro.simmpi.message.PHASE_BEGIN`
+  / :data:`~repro.simmpi.message.PHASE_END` maintain a per-rank stack of
+  open phases; every event is stamped with the "/"-joined path of that
+  stack (``TraceEvent.phase``), attributing all compute/send/recv time to
+  the innermost open phase.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import defaultdict, deque
 from typing import Callable, Generator, Iterable
 
@@ -30,6 +46,8 @@ from repro.core.cost import NetworkScaling
 from .machine import MachineModel
 from .message import (
     ANY_TAG,
+    PHASE_BEGIN,
+    PHASE_END,
     ComputeOp,
     MarkOp,
     Message,
@@ -48,8 +66,29 @@ class SimDeadlockError(RuntimeError):
     """All unfinished ranks are blocked on receives that can never match."""
 
 
+def _deadlock_message(blocked: list[tuple[int, RecvOp]]) -> str:
+    descriptions = "; ".join(
+        f"rank {rank} waiting on recv(source={op.source}, "
+        f"tag={'ANY' if op.tag == ANY_TAG else op.tag})"
+        for rank, op in blocked
+    )
+    return (
+        f"deadlock: {len(blocked)} rank(s) blocked on unmatched "
+        f"receives: {descriptions}"
+    )
+
+
 class _RankState:
-    __slots__ = ("gen", "clock", "blocked", "done", "result", "pending_value")
+    __slots__ = (
+        "gen",
+        "clock",
+        "blocked",
+        "done",
+        "result",
+        "pending_value",
+        "phases",
+        "phase_path",
+    )
 
     def __init__(self, gen: Generator):
         self.gen = gen
@@ -58,6 +97,8 @@ class _RankState:
         self.done = False
         self.result: object = None
         self.pending_value: object = None
+        self.phases: list[str] = []
+        self.phase_path = ""
 
 
 class Engine:
@@ -68,12 +109,14 @@ class Engine:
         machine: MachineModel,
         nprocs: int,
         record_events: bool = False,
+        sinks: Iterable = (),
     ):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         self.machine = machine
         self.nprocs = nprocs
         self.trace = Trace(enabled=record_events)
+        self.sinks = tuple(sinks)
         # FIFO queues of undelivered messages keyed by (source, dest, tag).
         self._mailbox: dict[tuple[int, int, int], deque[Message]] = (
             defaultdict(deque)
@@ -83,6 +126,18 @@ class Engine:
             defaultdict(deque)
         )
         self._bus_free_at = 0.0
+        # wake index: (source, dest) -> blocked receiver rank, plus the
+        # (source, dest) pairs that received new messages since the last
+        # wake sweep — only those receivers need re-polling.
+        self._waiters: dict[tuple[int, int], int] = {}
+        self._dirty: list[tuple[int, int]] = []
+
+    # -- event fan-out -------------------------------------------------------
+
+    def _emit(self, event: TraceEvent) -> None:
+        self.trace.record(event)
+        for sink in self.sinks:
+            sink.on_event(event)
 
     # -- op handlers ---------------------------------------------------------
 
@@ -111,7 +166,8 @@ class Engine:
         )
         self._mailbox[(rank, op.dest, op.tag)].append(msg)
         self._arrival_seq[(rank, op.dest)].append(msg)
-        self.trace.record(
+        self._dirty.append((rank, op.dest))
+        self._emit(
             TraceEvent(
                 rank=rank,
                 kind="send",
@@ -119,6 +175,10 @@ class Engine:
                 end=state.clock,
                 detail=f"->{op.dest} tag={op.tag}",
                 nbytes=nbytes,
+                peer=op.dest,
+                tag=op.tag,
+                arrival=arrives,
+                phase=state.phase_path,
             )
         )
 
@@ -143,7 +203,7 @@ class Engine:
         start = max(state.clock, msg.arrives_at)
         state.clock = start + self.machine.recv_cpu_time(msg.nbytes)
         state.pending_value = msg.payload
-        self.trace.record(
+        self._emit(
             TraceEvent(
                 rank=rank,
                 kind="recv",
@@ -151,6 +211,10 @@ class Engine:
                 end=state.clock,
                 detail=f"<-{op.source} tag={msg.tag}",
                 nbytes=msg.nbytes,
+                peer=op.source,
+                tag=msg.tag,
+                arrival=msg.arrives_at,
+                phase=state.phase_path,
             )
         )
         return True
@@ -158,15 +222,43 @@ class Engine:
     def _do_compute(self, rank: int, state: _RankState, op: ComputeOp) -> None:
         start = state.clock
         state.clock += op.seconds
-        self.trace.record(
+        self._emit(
             TraceEvent(
                 rank=rank,
                 kind="compute",
                 start=start,
                 end=state.clock,
                 detail=f"{op.points:g} pts" if op.points else "",
+                phase=state.phase_path,
             )
         )
+
+    def _do_mark(self, rank: int, state: _RankState, op: MarkOp) -> None:
+        label = op.label
+        if label.startswith(PHASE_BEGIN):
+            state.phases.append(label[len(PHASE_BEGIN):])
+            state.phase_path = "/".join(state.phases)
+        elif label.startswith(PHASE_END):
+            name = label[len(PHASE_END):]
+            if not state.phases or state.phases[-1] != name:
+                open_phase = state.phases[-1] if state.phases else None
+                raise ValueError(
+                    f"rank {rank}: phase_end({name!r}) does not match the "
+                    f"innermost open phase {open_phase!r}"
+                )
+        self._emit(
+            TraceEvent(
+                rank=rank,
+                kind="mark",
+                start=state.clock,
+                end=state.clock,
+                detail=label,
+                phase=state.phase_path,
+            )
+        )
+        if label.startswith(PHASE_END):
+            state.phases.pop()
+            state.phase_path = "/".join(state.phases)
 
     # -- main loop ------------------------------------------------------------
 
@@ -188,17 +280,8 @@ class Engine:
             # A rank that blocked may be unblocked by messages already sent;
             # _advance loops internally, so reaching here means it is either
             # finished or waiting on a future message.  Wake any ranks whose
-            # receives can now match.
-            progressed = True
-            while progressed:
-                progressed = False
-                for other_rank, other in enumerate(states):
-                    if other.done or other.blocked is None:
-                        continue
-                    if self._try_recv(other_rank, other, other.blocked):
-                        other.blocked = None
-                        self._advance(other_rank, other)
-                        progressed = True
+            # mailbox actually changed.
+            self._drain_wakeups(states)
             if all(s.done or s.blocked is not None for s in states) and not all(
                 s.done for s in states
             ):
@@ -207,14 +290,62 @@ class Engine:
                     for r, s in enumerate(states)
                     if not s.done
                 ]
-                raise SimDeadlockError(
-                    f"deadlock: ranks blocked on unmatched receives {blocked}"
-                )
-        return RunResult(
+                raise SimDeadlockError(_deadlock_message(blocked))
+        result = RunResult(
             clocks=tuple(s.clock for s in states),
             returns=tuple(s.result for s in states),
             trace=self.trace,
         )
+        for sink in self.sinks:
+            on_run_end = getattr(sink, "on_run_end", None)
+            if on_run_end is not None:
+                on_run_end(result)
+        return result
+
+    def _take_ready(self, states: list[_RankState]) -> set[int]:
+        """Blocked ranks whose (source, dest) mailbox gained a message
+        since the last sweep.  Consumes the dirty list."""
+        ready: set[int] = set()
+        for pair in self._dirty:
+            waiter = self._waiters.get(pair)
+            if waiter is not None:
+                ready.add(waiter)
+        self._dirty.clear()
+        return ready
+
+    def _drain_wakeups(self, states: list[_RankState]) -> None:
+        """Re-poll only the blocked receivers whose mailbox changed.
+
+        Order matches the historical full O(nprocs^2) scan exactly: each
+        pass visits candidates in ascending rank order; a rank dirtied
+        mid-pass joins the current pass if its rank number is still ahead
+        of the scan position, otherwise the next pass.
+        """
+        ready = self._take_ready(states)
+        while ready:
+            heap = sorted(ready)
+            in_pass = set(heap)
+            ready = set()
+            while heap:
+                rank = heapq.heappop(heap)
+                in_pass.discard(rank)
+                state = states[rank]
+                op = state.blocked
+                if state.done or op is None:
+                    continue
+                if not self._try_recv(rank, state, op):
+                    continue
+                state.blocked = None
+                self._waiters.pop((op.source, rank), None)
+                self._advance(rank, state)
+                for newly in self._take_ready(states):
+                    if newly in in_pass or newly in ready:
+                        continue
+                    if newly > rank:
+                        heapq.heappush(heap, newly)
+                        in_pass.add(newly)
+                    else:
+                        ready.add(newly)
 
     def _advance(self, rank: int, state: _RankState) -> None:
         """Drive one rank until it finishes or blocks on an empty receive."""
@@ -233,19 +364,12 @@ class Engine:
             elif isinstance(op, RecvOp):
                 if not self._try_recv(rank, state, op):
                     state.blocked = op
+                    self._waiters[(op.source, rank)] = rank
                     return
             elif isinstance(op, ComputeOp):
                 self._do_compute(rank, state, op)
             elif isinstance(op, MarkOp):
-                self.trace.record(
-                    TraceEvent(
-                        rank=rank,
-                        kind="mark",
-                        start=state.clock,
-                        end=state.clock,
-                        detail=op.label,
-                    )
-                )
+                self._do_mark(rank, state, op)
             else:
                 raise TypeError(
                     f"rank {rank} yielded unsupported op {op!r}"
@@ -256,7 +380,11 @@ def run_programs(
     machine: MachineModel,
     programs: list[Generator],
     record_events: bool = False,
+    sinks: Iterable = (),
 ) -> RunResult:
     """Convenience wrapper: run already-instantiated rank generators."""
-    engine = Engine(machine, nprocs=len(programs), record_events=record_events)
+    engine = Engine(
+        machine, nprocs=len(programs), record_events=record_events,
+        sinks=sinks,
+    )
     return engine.run(programs)

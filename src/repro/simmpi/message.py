@@ -23,9 +23,22 @@ __all__ = [
     "ComputeOp",
     "MarkOp",
     "ANY_TAG",
+    "PHASE_BEGIN",
+    "PHASE_END",
 ]
 
 ANY_TAG = -1
+
+#: Mark-label prefixes of the hierarchical phase-span protocol: a
+#: ``MarkOp(PHASE_BEGIN + label)`` pushes ``label`` onto the rank's phase
+#: stack, ``MarkOp(PHASE_END + label)`` pops it (labels must match — the
+#: engine validates nesting).  Every event a rank records while the stack
+#: is non-empty is attributed to the innermost open phase via
+#: ``TraceEvent.phase`` ("/"-joined path).  Use the :class:`~repro.simmpi
+#: .comm.Comm` helpers ``phase_begin``/``phase_end``/``phase`` rather than
+#: yielding raw marks.
+PHASE_BEGIN = "phase_begin:"
+PHASE_END = "phase_end:"
 
 
 def payload_nbytes(payload: Any) -> int:

@@ -10,7 +10,16 @@ __all__ = ["TraceEvent", "Trace", "RunResult"]
 
 @dataclasses.dataclass(frozen=True)
 class TraceEvent:
-    """One timeline entry: ``kind`` in {'send', 'recv', 'compute', 'mark'}."""
+    """One timeline entry: ``kind`` in {'send', 'recv', 'compute', 'mark'}.
+
+    ``peer``/``tag``/``arrival`` carry the message identity needed to match
+    sends to receives after the fact (the event dependency DAG walked by
+    :mod:`repro.obs.critical`): for a send, ``peer`` is the destination and
+    ``arrival`` the scheduled delivery time; for a recv, ``peer`` is the
+    source and ``arrival`` the matched message's delivery time.  ``phase``
+    is the hierarchical phase path (``"x_solve/phase2"``) open on the rank
+    when the event was recorded — empty outside any phase.
+    """
 
     rank: int
     kind: str
@@ -18,6 +27,10 @@ class TraceEvent:
     end: float
     detail: str = ""
     nbytes: int = 0
+    peer: int = -1
+    tag: int = 0
+    arrival: float = -1.0
+    phase: str = ""
 
 
 @dataclasses.dataclass

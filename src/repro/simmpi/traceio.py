@@ -2,7 +2,10 @@
 
 ``to_chrome_trace`` emits the Chrome/Perfetto ``trace_events`` format
 (open ``chrome://tracing`` or https://ui.perfetto.dev and load the file):
-one row per rank, compute/send/recv spans with their details.
+one row per rank with compute/send/recv spans (pid 0), a *phase row* per
+rank showing the open observability phase spans as nested B/E slices
+(pid 1), and global counter tracks (cumulative bytes sent, messages in
+flight).
 
 ``ascii_timeline`` renders a quick per-rank Gantt chart in the terminal —
 enough to *see* pipeline fill, balanced phases, or a straggler rank.
@@ -13,32 +16,89 @@ from __future__ import annotations
 import json
 from typing import IO
 
+from .message import PHASE_BEGIN, PHASE_END
 from .trace import RunResult, Trace
 
 __all__ = ["to_chrome_trace", "write_chrome_trace", "ascii_timeline"]
 
 _PHASE_NAMES = {"compute": "compute", "send": "send", "recv": "recv"}
 
+#: Chrome-trace process ids: rank timelines live in pid 0, phase rows in
+#: pid 1 (Perfetto shows them as two process groups)
+RANK_PID = 0
+PHASE_PID = 1
 
-def to_chrome_trace(trace: Trace, time_unit: float = 1e-6) -> dict:
+
+def _metadata_events() -> list[dict]:
+    return [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": RANK_PID,
+            "args": {"name": "ranks"},
+        },
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": PHASE_PID,
+            "args": {"name": "phases"},
+        },
+    ]
+
+
+def to_chrome_trace(
+    trace: Trace,
+    time_unit: float = 1e-6,
+    phase_rows: bool = True,
+    counter_tracks: bool = True,
+) -> dict:
     """Convert a recorded trace to a Chrome ``trace_events`` dict.
 
     ``time_unit`` scales virtual seconds into the format's microsecond
     timestamps (default: 1 virtual second = 1e6 trace us).
+
+    ``phase_rows`` adds one row per rank (pid 1) with the hierarchical
+    phase spans as nested ``B``/``E`` slices; ``counter_tracks`` adds
+    ``bytes_sent`` (cumulative) and ``msgs_in_flight`` counter tracks.
     """
-    if not trace.enabled and not trace.events:
+    if not trace.events:
         raise ValueError(
             "trace has no events — run with record_events=True"
         )
     events = []
     for e in trace.events:
         if e.kind == "mark":
+            label = e.detail
+            if phase_rows and label.startswith(PHASE_BEGIN):
+                events.append(
+                    {
+                        "name": label[len(PHASE_BEGIN):],
+                        "cat": "phase",
+                        "ph": "B",
+                        "ts": e.start / time_unit,
+                        "pid": PHASE_PID,
+                        "tid": e.rank,
+                    }
+                )
+                continue
+            if phase_rows and label.startswith(PHASE_END):
+                events.append(
+                    {
+                        "name": label[len(PHASE_END):],
+                        "cat": "phase",
+                        "ph": "E",
+                        "ts": e.start / time_unit,
+                        "pid": PHASE_PID,
+                        "tid": e.rank,
+                    }
+                )
+                continue
             events.append(
                 {
-                    "name": e.detail or "mark",
+                    "name": label or "mark",
                     "ph": "i",
                     "ts": e.start / time_unit,
-                    "pid": 0,
+                    "pid": RANK_PID,
                     "tid": e.rank,
                     "s": "t",
                 }
@@ -51,12 +111,53 @@ def to_chrome_trace(trace: Trace, time_unit: float = 1e-6) -> dict:
                 "ph": "X",
                 "ts": e.start / time_unit,
                 "dur": max(0.0, (e.end - e.start) / time_unit),
-                "pid": 0,
+                "pid": RANK_PID,
                 "tid": e.rank,
                 "args": {"detail": e.detail, "nbytes": e.nbytes},
             }
         )
+    if counter_tracks:
+        events.extend(_counter_events(trace, time_unit))
+    if phase_rows or counter_tracks:
+        events.extend(_metadata_events())
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _counter_events(trace: Trace, time_unit: float) -> list[dict]:
+    """Global counter tracks: cumulative bytes on the wire and messages in
+    flight (sent but not yet received)."""
+    points: list[tuple[float, int, int]] = []  # (time, dbytes, dflight)
+    for e in trace.events:
+        if e.kind == "send":
+            points.append((e.end, e.nbytes, +1))
+        elif e.kind == "recv":
+            points.append((e.end, 0, -1))
+    points.sort(key=lambda p: p[0])
+    out: list[dict] = []
+    total_bytes = 0
+    in_flight = 0
+    for ts, dbytes, dflight in points:
+        total_bytes += dbytes
+        in_flight += dflight
+        out.append(
+            {
+                "name": "bytes_sent",
+                "ph": "C",
+                "ts": ts / time_unit,
+                "pid": RANK_PID,
+                "args": {"bytes": total_bytes},
+            }
+        )
+        out.append(
+            {
+                "name": "msgs_in_flight",
+                "ph": "C",
+                "ts": ts / time_unit,
+                "pid": RANK_PID,
+                "args": {"messages": in_flight},
+            }
+        )
+    return out
 
 
 def write_chrome_trace(

@@ -58,6 +58,7 @@ class MultipartExecutor:
         machine: MachineModel,
         aggregate: bool = True,
         record_events: bool = False,
+        sinks: tuple = (),
     ):
         if len(shape) != partitioning.ndim:
             raise ValueError("array rank must match partitioning rank")
@@ -66,6 +67,10 @@ class MultipartExecutor:
         self.machine = machine
         self.aggregate = aggregate
         self.record_events = record_events
+        self.sinks = tuple(sinks)
+        # ops' phase annotations / marks only matter when someone observes
+        # them: the in-memory trace or a streaming sink
+        self._emit_marks = record_events or bool(self.sinks)
 
     # -- public API -----------------------------------------------------------
 
@@ -94,7 +99,8 @@ class MultipartExecutor:
             for rank in range(mp.nprocs)
         ]
         result = run_programs(
-            self.machine, programs, record_events=self.record_events
+            self.machine, programs, record_events=self.record_events,
+            sinks=self.sinks,
         )
         out = {
             name: self.grid.gather(
@@ -119,8 +125,18 @@ class MultipartExecutor:
                 )
             return arrays[name]
 
+        open_phase: str | None = None
         for op_index, op in enumerate(schedule):
-            if self.record_events:
+            if self._emit_marks:
+                # consecutive ops sharing a phase annotation share one span
+                # (e.g. the four sweeps of SP's x_solve)
+                phase = getattr(op, "phase", None)
+                if phase != open_phase:
+                    if open_phase is not None:
+                        yield from comm.phase_end(open_phase)
+                    if phase is not None:
+                        yield from comm.phase_begin(phase)
+                    open_phase = phase
                 yield from comm.mark(f"op{op_index}:{op.label()}")
             if isinstance(op, (SweepOp, BlockSweepOp)):
                 yield from self._sweep(
@@ -169,6 +185,8 @@ class MultipartExecutor:
                 yield from self._pointwise(comm, blocks_of(op.array), op)
             else:
                 raise TypeError(f"unsupported op {op!r}")
+        if self._emit_marks and open_phase is not None:
+            yield from comm.phase_end(open_phase)
         return comm.rank
 
     def _pointwise(self, comm: Comm, blocks, op: PointwiseOp) -> Generator:
@@ -202,6 +220,11 @@ class MultipartExecutor:
 
         carries: dict[tuple[int, ...], np.ndarray] = {}
         for phase, slab in enumerate(slab_order):
+            if self._emit_marks:
+                # nested span: the paper's per-sweep pipeline phases
+                # ("x_solve/p2") — every rank participates in every one
+                # (balance property), which the phase profile verifies
+                yield from comm.phase_begin(f"p{phase}")
             my_tiles = mp.tiles_of_in_slab(comm.rank, axis, slab)
             if phase > 0:
                 carries = yield from self._recv_carries(
@@ -231,6 +254,8 @@ class MultipartExecutor:
                 yield from self._send_carries(
                     comm, nbr_send, outgoing, tag_base + phase + 1
                 )
+            if self._emit_marks:
+                yield from comm.phase_end(f"p{phase}")
         # sanity: every rank participates in every phase (balance property)
 
     def _stencil(

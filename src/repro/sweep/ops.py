@@ -41,6 +41,9 @@ class SweepOp:
     reverse: bool = False
     flops_per_point: float = 3.0  # one multiply-add + scaling, roughly
     array: str = "u"              # which aligned array the op targets
+    #: observability: phase span this op belongs to (consecutive ops with
+    #: the same phase share one span; None = no phase annotation)
+    phase: str | None = None
 
     def label(self) -> str:
         return f"sweep(axis={self.axis},{'bwd' if self.reverse else 'fwd'})"
@@ -63,7 +66,8 @@ class BlockSweepOp:
     # flops per array *element* (component scalars count individually):
     # two dense c x c matvecs per c-vector = 4c^2 flops / c elements = 4c
     flops_per_point: float = 20.0
-    array: str = "u" 
+    array: str = "u"
+    phase: str | None = None
 
     def label(self) -> str:
         return (
@@ -131,6 +135,7 @@ class PointwiseOp:
     flops_per_point: float = 1.0
     name: str = "pointwise"
     array: str = "u"
+    phase: str | None = None
 
     def label(self) -> str:
         return self.name
@@ -160,6 +165,7 @@ class StencilOp:
     #: (defaults to in-place) — SP's compute_rhs reads u and writes rhs
     array: str = "u"
     out_array: str | None = None
+    phase: str | None = None
 
     def __post_init__(self) -> None:
         for lo, hi in self.reach:
@@ -189,6 +195,7 @@ class BinaryPointwiseOp:
     source: str
     flops_per_point: float = 2.0
     name: str = "binary"
+    phase: str | None = None
 
     def label(self) -> str:
         return f"{self.name}({self.target},{self.source})"
@@ -201,6 +208,7 @@ class CopyOp:
     src: str
     dst: str
     flops_per_point: float = 1.0
+    phase: str | None = None
 
     def label(self) -> str:
         return f"copy({self.src}->{self.dst})"

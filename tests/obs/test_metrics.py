@@ -1,0 +1,86 @@
+"""Unit tests for the metric primitives and the registry."""
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_total(self):
+        c = Counter("msgs")
+        c.inc(0)
+        c.inc(0, 2.0)
+        c.inc(3, 5.0)
+        assert c.value(0) == 3.0
+        assert c.value(1) == 0.0
+        assert c.total == 8.0
+        assert c.per_rank() == {0: 3.0, 3: 5.0}
+
+    def test_negative_increment_rejected(self):
+        c = Counter("msgs")
+        with pytest.raises(ValueError):
+            c.inc(0, -1.0)
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        g = Gauge("clock")
+        g.set(0, 1.0)
+        g.set(0, 2.5)
+        g.set(1, 1.5)
+        assert g.value(0) == 2.5
+        assert g.max == 2.5
+        assert g.min == 1.5
+
+    def test_empty(self):
+        g = Gauge("clock")
+        assert g.max == 0.0 and g.min == 0.0
+        assert g.per_rank() == {}
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram("sizes", bounds=(10.0, 100.0))
+        h.observe(0, 5.0)       # first bucket (<= 10)
+        h.observe(0, 10.0)      # inclusive upper edge -> first bucket
+        h.observe(0, 50.0)      # second bucket
+        h.observe(1, 1000.0)    # overflow bucket
+        assert h.counts(0) == [2, 1, 0]
+        assert h.counts() == [2, 1, 1]
+        assert h.count == 4
+        assert h.sum == pytest.approx(1065.0)
+        assert h.per_rank() == {0: [2, 1, 0], 1: [0, 0, 1]}
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=())
+
+
+class TestRegistry:
+    def test_create_on_first_use(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("a")
+        c2 = reg.counter("a")
+        assert c1 is c2
+        assert reg.names() == ["a"]
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("msgs").inc(0, 3)
+        reg.gauge("clock").set(1, 2.5)
+        reg.histogram("sizes", (10.0,)).observe(0, 4.0)
+        doc = json.loads(json.dumps(reg.snapshot()))
+        assert doc["counters"]["msgs"]["total"] == 3
+        assert doc["counters"]["msgs"]["per_rank"]["0"] == 3
+        assert doc["gauges"]["clock"]["1"] == 2.5
+        assert doc["histograms"]["sizes"]["counts"] == [1, 0]

@@ -1,0 +1,171 @@
+"""Self-consistency of the derived analyses on a real SP class-S run.
+
+These pin the acceptance criteria of the observability layer:
+
+* per-rank phase elapsed times sum to the rank's final clock (to 1e-9);
+* the communication matrix totals equal ``Trace.message_count`` /
+  ``Trace.total_bytes``;
+* the critical path length is bounded by the makespan and by the
+  makespan minus the last-finishing rank's idle time.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    UNPHASED,
+    build_profile,
+    comm_matrix,
+    comm_matrix_by_phase,
+    critical_path,
+    format_profile,
+    phase_profile,
+    rank_activity,
+    run_profiled_app,
+)
+from repro.simmpi import Comm, MachineModel
+from repro.simmpi.engine import run_programs
+
+
+@pytest.fixture(scope="module")
+def sp_run():
+    """SP class S (12^3), one step, 4 ranks, phase-annotated."""
+    _, res = run_profiled_app("sp", (12, 12, 12), 4)
+    return res
+
+
+class TestSelfConsistency:
+    def test_phase_times_sum_to_rank_clocks(self, sp_run):
+        phases = phase_profile(sp_run.trace.events, sp_run.clocks)
+        per_rank_total = {r: 0.0 for r in range(len(sp_run.clocks))}
+        for stat in phases:
+            for rank, seconds in stat.per_rank.items():
+                per_rank_total[rank] += seconds
+        for rank, clock in enumerate(sp_run.clocks):
+            assert per_rank_total[rank] == pytest.approx(clock, abs=1e-9)
+
+    def test_activity_partitions_makespan(self, sp_run):
+        for a in rank_activity(sp_run.trace.events, sp_run.clocks):
+            total = a.compute + a.send + a.recv + a.blocked + a.idle
+            assert total == pytest.approx(sp_run.makespan, abs=1e-9)
+            assert a.clock == sp_run.clocks[a.rank]
+
+    def test_comm_matrix_matches_counters(self, sp_run):
+        matrix = comm_matrix(sp_run.trace.events)
+        assert sum(c for c, _ in matrix.values()) == sp_run.message_count
+        assert sum(b for _, b in matrix.values()) == sp_run.total_bytes
+        # per-phase matrices partition the global one
+        by_phase = comm_matrix_by_phase(sp_run.trace.events)
+        assert sum(
+            c for cells in by_phase.values() for c, _ in cells.values()
+        ) == sp_run.message_count
+        # multipartitioning neighbor property: every pair that talks,
+        # talks in both directions
+        for src, dst in matrix:
+            assert (dst, src) in matrix
+
+    def test_critical_path_bounds(self, sp_run):
+        path = critical_path(sp_run.trace.events, sp_run.clocks)
+        assert path.length <= sp_run.makespan + 1e-12
+        # the path cannot be shorter than the last-finishing rank's busy
+        # portion of the makespan
+        last = max(
+            range(len(sp_run.clocks)), key=lambda r: sp_run.clocks[r]
+        )
+        idle_last = [
+            a.idle for a in rank_activity(sp_run.trace.events, sp_run.clocks)
+        ][last]
+        assert path.length >= sp_run.makespan - idle_last - 1e-12
+        # decomposition adds up
+        assert path.compute_seconds + path.comm_cpu_seconds + \
+            path.wire_seconds + path.wait_seconds == pytest.approx(
+                path.length, abs=1e-9)
+        assert path.compute_seconds > 0
+        # chronological, contiguous-in-time segments
+        for a, b in zip(path.segments, path.segments[1:]):
+            assert b.start >= a.start - 1e-12
+
+    def test_sweep_phases_present(self, sp_run):
+        phases = {p.phase for p in phase_profile(
+            sp_run.trace.events, sp_run.clocks)}
+        for name in ("rhs", "add"):
+            assert name in phases
+        # pipelined sweeps contribute nested per-slab phases
+        assert any(p.startswith("x_solve/") for p in phases)
+        assert any(p.startswith("z_solve/") for p in phases)
+
+    def test_build_profile_document(self, sp_run):
+        prof = build_profile(sp_run.trace.events, sp_run.clocks)
+        json.dumps(prof)  # must be JSON-serializable as-is
+        assert prof["nprocs"] == 4
+        assert prof["total_messages"] == sp_run.message_count
+        assert prof["total_bytes"] == sp_run.total_bytes
+        assert prof["critical_path"]["length"] <= prof["makespan"] + 1e-12
+        text = format_profile(prof)
+        assert "per-rank activity" in text
+        assert "critical path" in text
+
+
+class TestPhaseProtocol:
+    def run_one(self, prog, nprocs=2):
+        m = MachineModel(compute_per_point=0.0, overhead=1e-6,
+                        latency=1e-5, bandwidth=1e8)
+        return run_programs(
+            m, [prog(Comm(r, nprocs)) for r in range(nprocs)],
+            record_events=True,
+        )
+
+    def test_nested_phases_stamp_events(self):
+        def prog(comm):
+            yield from comm.phase_begin("outer")
+            yield from comm.compute(1e-6)
+            yield from comm.phase_begin("inner")
+            yield from comm.compute(1e-6)
+            yield from comm.phase_end("inner")
+            yield from comm.phase_end("outer")
+            yield from comm.compute(1e-6)
+
+        res = self.run_one(prog)
+        computes = [e for e in res.trace.events
+                    if e.kind == "compute" and e.rank == 0]
+        assert [e.phase for e in computes] == ["outer", "outer/inner", ""]
+
+    def test_phase_helper_wraps_inner(self):
+        def body(comm):
+            yield from comm.compute(1e-6)
+            return comm.rank * 10
+
+        def outer(comm):
+            result = yield from comm.phase("work", body(comm))
+            return result
+
+        res = self.run_one(outer)
+        assert res.returns == (0, 10)
+        assert all(
+            e.phase == "work"
+            for e in res.trace.events if e.kind == "compute"
+        )
+
+    def test_mismatched_phase_end_raises(self):
+        def prog(comm):
+            yield from comm.phase_begin("a")
+            yield from comm.phase_end("b")
+
+        with pytest.raises(ValueError, match="does not match"):
+            self.run_one(prog)
+
+    def test_unphased_time_lands_in_unphased(self):
+        def prog(comm):
+            yield from comm.compute(1e-6)
+
+        res = self.run_one(prog)
+        phases = phase_profile(res.trace.events, res.clocks)
+        assert [p.phase for p in phases] == [UNPHASED]
+
+    def test_phase_label_validation(self):
+        comm = Comm(0, 1)
+        with pytest.raises(ValueError):
+            next(comm.phase_begin("a/b"))
+        with pytest.raises(ValueError):
+            next(comm.phase_begin(""))

@@ -124,6 +124,33 @@ class TestDeadlock:
         with pytest.raises(SimDeadlockError):
             run(simple_machine(), prog, 2)
 
+    def test_message_names_ranks_and_ops(self):
+        def prog(comm):
+            if comm.rank == 1:
+                yield RecvOp(source=0, tag=7)
+            else:
+                yield ComputeOp(seconds=1.0)
+
+        with pytest.raises(SimDeadlockError) as excinfo:
+            run(simple_machine(), prog, 2)
+        msg = str(excinfo.value)
+        assert "1 rank(s) blocked" in msg
+        assert "rank 1 waiting on recv(source=0, tag=7)" in msg
+
+    def test_message_spells_out_any_tag(self):
+        from repro.simmpi.message import ANY_TAG
+
+        def prog(comm):
+            other = 1 - comm.rank
+            yield RecvOp(source=other, tag=ANY_TAG)
+
+        with pytest.raises(SimDeadlockError) as excinfo:
+            run(simple_machine(), prog, 2)
+        msg = str(excinfo.value)
+        assert "2 rank(s) blocked" in msg
+        assert "rank 0 waiting on recv(source=1, tag=ANY)" in msg
+        assert "rank 1 waiting on recv(source=0, tag=ANY)" in msg
+
     def test_missing_message_detected(self):
         def prog(comm):
             if comm.rank == 1:

@@ -26,6 +26,15 @@ class TestTrace:
         assert len(t.events_of(0)) == 1
         assert t.marks()[0].detail == "a"
 
+    def test_events_of_and_marks_when_disabled(self):
+        # counters-only mode: accessors answer (empty), never raise
+        t = Trace(enabled=False)
+        t.record(TraceEvent(rank=0, kind="mark", start=0, end=0, detail="a"))
+        t.record(TraceEvent(rank=0, kind="send", start=0, end=1, nbytes=4))
+        assert t.events_of(0) == []
+        assert t.marks() == []
+        assert t.message_count == 1  # aggregates still maintained
+
 
 class TestRunResult:
     def make(self):
@@ -48,5 +57,13 @@ class TestRunResult:
 
     def test_empty(self):
         res = RunResult(clocks=(), returns=(), trace=Trace())
+        assert res.makespan == 0.0
+        assert res.efficiency() == 1.0
+
+    def test_zero_makespan_efficiency(self):
+        # ranks that do nothing finish at clock 0; efficiency must not
+        # divide by the zero makespan
+        res = RunResult(clocks=(0.0, 0.0), returns=(None, None),
+                        trace=Trace())
         assert res.makespan == 0.0
         assert res.efficiency() == 1.0

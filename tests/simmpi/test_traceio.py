@@ -35,13 +35,46 @@ class TestChromeTrace:
         doc = to_chrome_trace(recorded_run.trace)
         assert "traceEvents" in doc
         events = doc["traceEvents"]
-        assert len(events) == len(recorded_run.trace.events)
+        span_or_instant = [e for e in events if e["ph"] in ("X", "i")]
+        assert len(span_or_instant) == len(
+            [e for e in recorded_run.trace.events
+             if e.kind != "mark" or not e.detail.startswith("phase_")]
+        )
         kinds = {e["cat"] for e in events if "cat" in e}
         assert {"compute", "send", "recv"} <= kinds
         for e in events:
             if e["ph"] == "X":
                 assert e["dur"] >= 0
                 assert 0 <= e["tid"] < 3
+
+    def test_phase_rows_and_counters(self, recorded_run):
+        doc = to_chrome_trace(recorded_run.trace)
+        events = doc["traceEvents"]
+        begins = [e for e in events if e["ph"] == "B"]
+        ends = [e for e in events if e["ph"] == "E"]
+        assert begins and len(begins) == len(ends)
+        assert {e["pid"] for e in begins} == {1}
+        counters = [e for e in events if e["ph"] == "C"]
+        assert {c["name"] for c in counters} == {
+            "bytes_sent", "msgs_in_flight"
+        }
+        # cumulative bytes track ends at the trace's byte total
+        byte_track = [c for c in counters if c["name"] == "bytes_sent"]
+        assert byte_track[-1]["args"]["bytes"] == (
+            recorded_run.trace.total_bytes
+        )
+        # all messages eventually received
+        flight = [c for c in counters if c["name"] == "msgs_in_flight"]
+        assert flight[-1]["args"]["messages"] == 0
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in meta} == {"ranks", "phases"}
+
+    def test_enrichment_opt_out(self, recorded_run):
+        doc = to_chrome_trace(
+            recorded_run.trace, phase_rows=False, counter_tracks=False
+        )
+        assert len(doc["traceEvents"]) == len(recorded_run.trace.events)
+        assert {e["ph"] for e in doc["traceEvents"]} <= {"X", "i"}
 
     def test_json_serializable(self, recorded_run):
         buf = io.StringIO()
@@ -52,6 +85,12 @@ class TestChromeTrace:
     def test_empty_trace_rejected(self):
         with pytest.raises(ValueError):
             to_chrome_trace(Trace(enabled=False))
+
+    def test_enabled_but_empty_trace_rejected(self):
+        # regression: an enabled-but-empty trace used to slip through the
+        # guard and silently emit an empty document
+        with pytest.raises(ValueError, match="no events"):
+            to_chrome_trace(Trace(enabled=True))
 
     def test_marks_become_instants(self):
         from repro.simmpi.trace import TraceEvent

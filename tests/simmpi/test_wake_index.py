@@ -1,0 +1,127 @@
+"""The wake index must be observably identical to the old full scan.
+
+``Engine.run`` used to re-poll every blocked rank after every step — an
+O(nprocs^2) pass.  The current engine keeps an index of blocked receivers
+keyed by (source, dest) and re-polls only ranks whose mailbox changed.
+``_NaiveEngine`` below reinstates the historical scan; random program
+mixes must produce *identical* RunResults (clocks, returns, and the full
+event stream) through both.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi import Comm, MachineModel
+from repro.simmpi.engine import Engine
+
+
+def machine() -> MachineModel:
+    return MachineModel(
+        compute_per_point=0.0, overhead=1e-6, latency=1e-5, bandwidth=1e8
+    )
+
+
+class _NaiveEngine(Engine):
+    """Reference engine with the historical O(nprocs^2) wake scan."""
+
+    def _drain_wakeups(self, states):
+        self._dirty.clear()
+        progressed = True
+        while progressed:
+            progressed = False
+            for rank, state in enumerate(states):
+                if state.done or state.blocked is None:
+                    continue
+                if self._try_recv(rank, state, state.blocked):
+                    state.blocked = None
+                    self._advance(rank, state)
+                    progressed = True
+
+
+@st.composite
+def program_mix(draw):
+    """A deadlock-free random schedule over 2..6 ranks.
+
+    Messages get a global total order; every rank performs its operations
+    (send when source, recv when dest) in that order, interleaved with
+    random compute.  A receive can then only wait on a message whose send
+    appears earlier in the sender's own schedule, so progress is always
+    possible — while wake-up cascades (one delivery unblocking a chain of
+    ranks) happen constantly.
+    """
+    size = draw(st.integers(2, 6))
+    n_msgs = draw(st.integers(1, 20))
+    msgs = []
+    for i in range(n_msgs):
+        src = draw(st.integers(0, size - 1))
+        dst = draw(st.integers(0, size - 1).filter(lambda d: d != src))
+        tag = draw(st.integers(0, 2))
+        msgs.append((src, dst, tag, i))
+    computes = {
+        rank: draw(st.lists(st.floats(1e-7, 1e-4), min_size=0, max_size=4))
+        for rank in range(size)
+    }
+    return size, msgs, computes
+
+
+def build_programs(size, msgs, computes):
+    def prog(comm: Comm):
+        received = []
+        pending = list(computes[comm.rank])
+        for src, dst, tag, i in msgs:
+            if pending and i % 2 == 0:
+                yield from comm.compute(pending.pop())
+            if src == comm.rank:
+                yield from comm.send(np.full(2, i, dtype=float), dst,
+                                     tag=tag)
+            elif dst == comm.rank:
+                value = yield from comm.recv(src, tag=tag)
+                received.append(int(value[0]))
+        for seconds in pending:
+            yield from comm.compute(seconds)
+        return tuple(received)
+
+    return [prog(Comm(r, size)) for r in range(size)]
+
+
+class TestWakeIndexEquivalence:
+    @settings(deadline=None, max_examples=60)
+    @given(program_mix())
+    def test_identical_run_results(self, mix):
+        size, msgs, computes = mix
+        fast = Engine(machine(), size, record_events=True).run(
+            build_programs(size, msgs, computes)
+        )
+        slow = _NaiveEngine(machine(), size, record_events=True).run(
+            build_programs(size, msgs, computes)
+        )
+        assert fast.clocks == slow.clocks
+        assert fast.returns == slow.returns
+        assert fast.trace.events == slow.trace.events
+        assert fast.message_count == slow.message_count
+        assert fast.total_bytes == slow.total_bytes
+
+    def test_wake_cascade_chain(self):
+        """rank 0 releases a chain 0 -> 1 -> 2 -> 3; every hop must wake
+        exactly through the index."""
+        size = 4
+
+        def prog(comm: Comm):
+            if comm.rank == 0:
+                yield from comm.compute(1e-4)
+                yield from comm.send(0.0, 1)
+            else:
+                value = yield from comm.recv(comm.rank - 1)
+                if comm.rank < size - 1:
+                    yield from comm.send(value + 1, comm.rank + 1)
+                return value
+
+        fast = Engine(machine(), size, record_events=True).run(
+            [prog(Comm(r, size)) for r in range(size)]
+        )
+        slow = _NaiveEngine(machine(), size, record_events=True).run(
+            [prog(Comm(r, size)) for r in range(size)]
+        )
+        assert fast.returns == slow.returns == (None, 0.0, 1.0, 2.0)
+        assert fast.trace.events == slow.trace.events

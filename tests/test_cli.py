@@ -128,6 +128,43 @@ class TestExtensionCommands:
         assert "per-op time breakdown" in out
         assert "max error" in out
 
+    def test_profile_text(self, capsys):
+        out = run_cli(
+            capsys, "profile", "--shape", "12,12,12", "-p", "4",
+        )
+        assert "per-rank activity" in out
+        assert "per-phase profile" in out
+        assert "critical path" in out
+        assert "x_solve" in out
+
+    def test_profile_json(self, capsys):
+        import json
+
+        out = run_cli(
+            capsys, "profile", "--shape", "12,12,12", "-p", "4", "--json",
+        )
+        doc = json.loads(out)
+        assert doc["app"] == "sp"
+        assert doc["nprocs"] == 4
+        assert doc["total_messages"] > 0
+        assert doc["critical_path"]["length"] <= doc["makespan"] + 1e-12
+
+    def test_profile_artifacts(self, capsys, tmp_path):
+        import json
+
+        chrome = tmp_path / "trace.json"
+        jsonl = tmp_path / "events.jsonl"
+        run_cli(
+            capsys, "profile", "--shape", "12,12,12", "-p", "4",
+            "--app", "adi", "--chrome", str(chrome), "--jsonl", str(jsonl),
+        )
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+        from repro.obs import read_jsonl
+
+        events, clocks = read_jsonl(jsonl)
+        assert events and clocks is not None
+
     def test_diagnose(self, capsys, tmp_path):
         import numpy as np
 
