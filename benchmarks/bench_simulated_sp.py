@@ -3,7 +3,9 @@
 Table 1 at class B uses modeled times; this bench runs the *actual
 distributed computation* through the simulator on grids small enough to
 execute, verifying numerics against the sequential solver while measuring
-virtual makespans, message counts, and parallel efficiency.
+virtual makespans, message counts, and parallel efficiency.  The class-S
+scaling sweep goes through the :mod:`repro.runner` batch machinery — the
+same path as ``repro sweep --mode simulated``.
 """
 
 import numpy as np
@@ -13,9 +15,10 @@ from repro.apps.sp import SPProblem, sp_class
 from repro.apps.workloads import random_field
 from repro.core.api import plan_multipartitioning
 from repro.obs import build_profile
+from repro.runner import BatchRunner, ExperimentSpec
 from repro.simmpi.machine import origin2000
 from repro.sweep.multipart import MultipartExecutor
-from repro.sweep.sequential import run_sequential, sequential_time
+from repro.sweep.sequential import run_sequential
 
 
 def test_simulated_sp_class_s(benchmark, report):
@@ -24,22 +27,23 @@ def test_simulated_sp_class_s(benchmark, report):
     prob = sp_class("S", steps=1)
     sched = prob.schedule()
     field = random_field(prob.shape)
-    ref = run_sequential(field, sched)
-    t_seq = sequential_time(prob.shape, sched, machine)
+    cpu_counts = (1, 2, 4, 6, 8, 9, 12)
+    specs = [
+        ExperimentSpec(shape=prob.shape, p=p, mode="simulated", app="sp")
+        for p in cpu_counts
+    ]
+    results = BatchRunner(cache=None, jobs=2).run(specs)
     rows = []
-    for p in (1, 2, 4, 6, 8, 9, 12):
-        plan = plan_multipartitioning(prob.shape, p, machine.to_cost_model())
-        out, res = MultipartExecutor(
-            plan.partitioning, prob.shape, machine
-        ).run(field, sched)
-        assert np.allclose(out, ref, atol=1e-11)
+    for p, res in zip(cpu_counts, results):
+        assert "error" not in res, res.get("error")
+        assert res["max_abs_error"] < 1e-11
         rows.append(
             [
                 p,
-                plan.gammas,
-                res.makespan,
-                t_seq / res.makespan,
-                res.message_count,
+                tuple(res["gammas"]),
+                res["summary"]["makespan"],
+                res["speedup"],
+                res["summary"]["message_count"],
             ]
         )
     report(

@@ -19,8 +19,8 @@ def sp_schedule():
 
 
 def test_table1_regeneration(benchmark, sp_schedule, report):
-    shape, schedule = sp_schedule
-    rows = benchmark(sp_speedup_table, shape, schedule)
+    shape, _ = sp_schedule
+    rows = benchmark(sp_speedup_table, shape)
     report("Table 1: NAS SP class B speedups (modeled)", format_table1(rows))
     by_p = {r.p: r for r in rows}
     # paper shape claims

@@ -23,7 +23,7 @@ def main() -> None:
     cls = sys.argv[1] if len(sys.argv) > 1 else "B"
     prob = sp_class(cls, steps=1)
     schedule = prob.schedule()
-    rows = sp_speedup_table(prob.shape, schedule)
+    rows = sp_speedup_table(prob.shape)
     print(format_table1(rows))
 
     by_p = {r.p: r for r in rows}

@@ -12,7 +12,7 @@ import dataclasses
 from typing import Sequence
 
 from repro.core.cost import CostModel
-from repro.core.optimizer import optimal_partitioning
+from repro.runner import BatchRunner, spec_for_cost_model
 
 __all__ = [
     "DecisionPoint",
@@ -37,24 +37,41 @@ def tiling_vs_parameter(
     parameter: str,
     values: Sequence[float],
     base: CostModel | None = None,
+    runner: BatchRunner | None = None,
 ) -> list[DecisionPoint]:
     """Optimal tiling as one cost-model constant sweeps through ``values``.
 
-    ``parameter`` is one of ``k1``, ``k2``, ``k3``.
+    ``parameter`` is one of ``k1``, ``k2``, ``k3``.  Each value becomes a
+    plan-mode experiment spec pinning the full cost model, and the batch
+    runs through ``runner`` (cacheless inline by default) — hand one with a
+    :class:`~repro.runner.ResultCache` to make repeated ablations free.
     """
     base = base or CostModel()
     if parameter not in ("k1", "k2", "k3"):
         raise ValueError("parameter must be one of k1, k2, k3")
+    runner = runner or BatchRunner()
+    specs = [
+        spec_for_cost_model(
+            tuple(shape),
+            p,
+            dataclasses.replace(base, **{parameter: float(v)}),
+        )
+        for v in values
+    ]
+    results = runner.run(specs)
     out = []
-    for v in values:
-        model = dataclasses.replace(base, **{parameter: float(v)})
-        choice = optimal_partitioning(tuple(shape), p, model)
+    for v, result in zip(values, results):
+        if "error" in result:
+            raise RuntimeError(
+                f"sensitivity sweep failed at {parameter}={v}: "
+                f"{result['error']}"
+            )
         out.append(
             DecisionPoint(
                 parameter=parameter,
                 value=float(v),
-                gammas=choice.gammas,
-                cost=choice.cost,
+                gammas=tuple(result["gammas"]),
+                cost=result["cost"],
             )
         )
     return out
@@ -69,6 +86,7 @@ def decision_boundary(
     base: CostModel | None = None,
     tol: float = 1e-3,
     max_iter: int = 80,
+    runner: BatchRunner | None = None,
 ) -> float | None:
     """Bisect for the parameter value where the optimal tiling changes
     between ``lo`` and ``hi``; ``None`` if the decision is constant.
@@ -76,16 +94,17 @@ def decision_boundary(
     The returned value is accurate to a relative ``tol`` on the parameter.
     """
     base = base or CostModel()
-    points = tiling_vs_parameter(shape, p, parameter, [lo, hi], base)
+    runner = runner or BatchRunner()
+    points = tiling_vs_parameter(shape, p, parameter, [lo, hi], base, runner)
     g_lo, g_hi = points[0].gammas, points[1].gammas
     if g_lo == g_hi:
         return None
     a, b = float(lo), float(hi)
     for _ in range(max_iter):
         mid = (a + b) / 2.0
-        g_mid = tiling_vs_parameter(shape, p, parameter, [mid], base)[
-            0
-        ].gammas
+        g_mid = tiling_vs_parameter(
+            shape, p, parameter, [mid], base, runner
+        )[0].gammas
         if g_mid == g_lo:
             a = mid
         else:

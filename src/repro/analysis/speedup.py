@@ -7,6 +7,11 @@ perfect-square processor counts only) versus dHPF-generated code
 modeled executors over the Origin-2000 machine preset; speedups are relative
 to the sequential schedule time, as in the paper (footnote 2).
 
+The table is produced by fanning modeled :class:`ExperimentSpec` configs
+through the :mod:`repro.runner` batch machinery — pass ``runner=`` a
+:class:`BatchRunner` with a cache to make repeated regenerations (CLI,
+benches, notebooks) replay from disk.
+
 ``PAPER_TABLE1_*`` embeds the published numbers so benches/tests can compare
 shapes (who wins, monotonicity, the 49-vs-50 inversion) — absolute
 magnitudes are not expected to match a 2002 Origin 2000.
@@ -16,12 +21,9 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.core.api import plan_multipartitioning
-from repro.core.diagonal import diagonal_applicable, diagonal_nd
-from repro.core.mapping import Multipartitioning
+from repro.core.diagonal import diagonal_applicable
+from repro.runner import BatchRunner, ExperimentSpec, machine_spec_fields
 from repro.simmpi.machine import MachineModel, origin2000
-from repro.sweep.modeled import multipart_time
-from repro.sweep.sequential import sequential_time
 
 __all__ = [
     "PAPER_CPU_COUNTS",
@@ -71,38 +73,62 @@ class SpeedupRow:
 
 def sp_speedup_table(
     shape: tuple[int, int, int],
-    schedule,
+    steps: int = 1,
     cpu_counts=PAPER_CPU_COUNTS,
     machine: MachineModel | None = None,
     dhpf_compute_overhead: float = 1.03,
+    runner: BatchRunner | None = None,
 ) -> list[SpeedupRow]:
     """Modeled Table 1.
 
     ``dhpf_compute_overhead`` inflates compiler-generated compute slightly
     (generated loop nests vs hand-tuned Fortran); the hand-coded column uses
     the raw model.  The hand-coded version exists only on perfect squares
-    (it is restricted to diagonal multipartitionings).
+    (it is restricted to diagonal multipartitionings).  All configurations
+    run through ``runner`` (a fresh cacheless :class:`BatchRunner` by
+    default) as modeled SP experiment specs.
     """
     machine = machine or origin2000()
-    cost_model = machine.to_cost_model()
-    t_seq = sequential_time(shape, schedule, machine)
+    machine_name, machine_params = machine_spec_fields(machine)
+    runner = runner or BatchRunner()
+
+    def spec(p: int, partitioner: str) -> ExperimentSpec:
+        return ExperimentSpec(
+            shape=shape,
+            p=p,
+            mode="modeled",
+            app="sp",
+            machine=machine_name,
+            machine_params=machine_params,
+            partitioner=partitioner,
+            steps=steps,
+        )
+
+    diag_counts = [p for p in cpu_counts if diagonal_applicable(p, 3)]
+    specs = [spec(p, "optimal") for p in cpu_counts] + [
+        spec(p, "diagonal") for p in diag_counts
+    ]
+    results = runner.run(specs)
+    for result in results:
+        if "error" in result:
+            raise RuntimeError(f"speedup sweep failed: {result['error']}")
+    dhpf = dict(zip(cpu_counts, results))
+    hand = dict(zip(diag_counts, results[len(list(cpu_counts)):]))
+
     rows: list[SpeedupRow] = []
     for p in cpu_counts:
-        plan = plan_multipartitioning(shape, p, cost_model)
-        t_dhpf = (
-            multipart_time(shape, plan.partitioning, machine, schedule)
-            * dhpf_compute_overhead
-        )
+        res = dhpf[p]
+        t_seq = res["sequential_time"]
+        t_dhpf = res["modeled_time"] * dhpf_compute_overhead
         hand_time = hand_speedup = pct = None
-        if diagonal_applicable(p, 3):
-            hand_part = Multipartitioning(diagonal_nd(p, 3), p)
-            hand_time = multipart_time(shape, hand_part, machine, schedule)
+        if p in hand:
+            hand_time = hand[p]["modeled_time"]
             hand_speedup = t_seq / hand_time
             pct = (hand_speedup - t_seq / t_dhpf) / hand_speedup * 100.0
         rows.append(
             SpeedupRow(
                 p=p,
-                gammas=plan.gammas,
+                gammas=tuple(res["gammas"]),
                 dhpf_time=t_dhpf,
                 dhpf_speedup=t_seq / t_dhpf,
                 hand_time=hand_time,

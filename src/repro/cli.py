@@ -9,6 +9,7 @@ table1    Regenerate the paper's Table 1 (NAS SP class-B speedups).
 figure1   Regenerate the paper's Figure 1 (3-D diagonal mapping, p=16).
 drop      Processor-dropping search: fastest p' <= p (Conclusions).
 count     Elementary-partitioning counts vs the Figure-2 complexity bound.
+sweep     Batch experiment grid: parallel runner + persistent result cache.
 """
 
 from __future__ import annotations
@@ -138,7 +139,142 @@ def build_parser() -> argparse.ArgumentParser:
         "+ final run_end record)",
     )
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a batch experiment grid through the parallel runner with "
+        "persistent result caching",
+    )
+    sweep.add_argument(
+        "--grid", metavar="PATH",
+        help="grid document (.json or .toml); overrides the inline flags",
+    )
+    sweep.add_argument("--shapes", type=str,
+                       help='comma list of shapes, e.g. "12x12x12,16x16x16"')
+    sweep.add_argument("--nprocs", type=str,
+                       help='comma list of processor counts, e.g. "1,2,4"')
+    sweep.add_argument("--apps", type=str, default="sp",
+                       help='comma list of apps (sp, bt, adi)')
+    sweep.add_argument("--machines", type=str, default="origin2000",
+                       help="comma list of machine presets")
+    sweep.add_argument("--mode", default="modeled",
+                       choices=["plan", "modeled", "simulated"])
+    sweep.add_argument("--objective", default="full",
+                       choices=["full", "phases", "volume"])
+    sweep.add_argument("--steps", type=int, default=1)
+    sweep.add_argument("--seed", type=int, default=2002)
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = run inline)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="bypass the result cache entirely")
+    sweep.add_argument("--cache-dir", default=".repro-cache",
+                       help="result cache directory (default .repro-cache)")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit results + stats as a JSON document")
+
     return parser
+
+
+def _run_sweep(args, out) -> int:
+    import json
+
+    from repro.analysis.report import format_table
+    from repro.obs.metrics import MetricsRegistry
+    from repro.runner import (
+        SCHEMA_TAG,
+        BatchRunner,
+        ResultCache,
+        expand_grid,
+        load_grid,
+        parse_ints,
+        parse_shapes,
+    )
+
+    if args.grid:
+        doc = load_grid(args.grid)
+    else:
+        if not args.shapes or not args.nprocs:
+            print(
+                "sweep: need --grid, or both --shapes and --nprocs",
+                file=sys.stderr,
+            )
+            return 2
+        doc = {
+            "mode": args.mode,
+            "apps": [a.strip() for a in args.apps.split(",") if a.strip()],
+            "shapes": parse_shapes(args.shapes),
+            "nprocs": parse_ints(args.nprocs),
+            "machines": [
+                m.strip() for m in args.machines.split(",") if m.strip()
+            ],
+            "objectives": [args.objective],
+            "steps": args.steps,
+            "seed": args.seed,
+        }
+    specs = expand_grid(doc)
+    registry = MetricsRegistry()
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = BatchRunner(cache=cache, jobs=args.jobs, metrics=registry)
+    results = runner.run(specs)
+    stats = runner.last_stats
+    failed = any("error" in r for r in results)
+
+    if args.json:
+        json.dump(
+            {
+                "schema": SCHEMA_TAG,
+                "results": results,
+                "stats": {
+                    **stats.to_dict(),
+                    "sources": runner.last_sources,
+                    "metrics": registry.snapshot(),
+                },
+            },
+            out,
+        )
+        out.write("\n")
+        return 1 if failed else 0
+
+    rows = []
+    for spec, result, source in zip(specs, results, runner.last_sources):
+        shape = "x".join(map(str, spec.shape))
+        if "error" in result:
+            rows.append([spec.app, shape, spec.p, spec.machine,
+                         "ERROR", result["error"], "", source])
+            continue
+        gammas = "x".join(map(str, result["gammas"]))
+        if spec.mode == "plan":
+            t = result["cost"]
+        elif spec.mode == "modeled":
+            t = result["modeled_time"]
+        else:
+            t = result["summary"]["makespan"]
+        speedup = result.get("speedup")
+        rows.append([
+            spec.app, shape, spec.p, spec.machine, gammas,
+            f"{t:.4g}" if t is not None else "-",
+            f"{speedup:.2f}" if speedup is not None else "-",
+            source,
+        ])
+    time_label = {
+        "plan": "cost", "modeled": "time(s)", "simulated": "makespan(s)"
+    }[doc.get("mode", "modeled")]
+    print(
+        format_table(
+            ["app", "shape", "p", "machine", "tiling", time_label,
+             "speedup", "cache"],
+            rows,
+            title=f"sweep: {stats.total} configs, mode "
+            f"{doc.get('mode', 'modeled')}",
+        ),
+        file=out,
+    )
+    print(
+        f"{stats.total} specs: {stats.hits} hits, {stats.misses} misses "
+        f"({stats.hit_rate:.0%} hit rate), {stats.errors} errors, "
+        f"{stats.wall_seconds:.2f}s wall on {stats.jobs} job(s)",
+        file=out,
+    )
+    return 1 if failed else 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -192,7 +328,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.apps.sp import sp_class
 
         prob = sp_class(args.cls, steps=1)
-        rows = sp_speedup_table(prob.shape, prob.schedule())
+        rows = sp_speedup_table(prob.shape, steps=1)
         print(format_table1(rows), file=out)
         return 0
 
@@ -390,6 +526,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
             print(format_profile(profile), file=out)
         return 0
+
+    if args.command == "sweep":
+        return _run_sweep(args, out)
 
     if args.command == "diagnose":
         import numpy as np

@@ -16,16 +16,21 @@ Examples from the paper (Section 3.2), up to permutation:
 
 from __future__ import annotations
 
+import functools
 import itertools
 from typing import Iterator, Sequence
 
 from .factorization import prime_factorization, product
-from .partitions import factor_distributions, is_lemma1_distribution
+from .partitions import (
+    factor_distributions_cached,
+    is_lemma1_distribution,
+)
 
 __all__ = [
     "is_valid_partitioning",
     "is_elementary_partitioning",
     "elementary_partitionings",
+    "elementary_partitionings_cached",
     "elementary_partitionings_unordered",
     "count_elementary_partitionings",
 ]
@@ -85,13 +90,24 @@ def elementary_partitionings(p: int, d: int) -> Iterator[tuple[int, ...]]:
         yield (1,) * d
         return
     factors = prime_factorization(p)
-    per_factor = [list(factor_distributions(r, d)) for _, r in factors]
+    per_factor = [factor_distributions_cached(r, d) for _, r in factors]
     for combo in itertools.product(*per_factor):
         gammas = [1] * d
         for (prime, _), exps in zip(factors, combo):
             for i, e in enumerate(exps):
                 gammas[i] *= prime**e
         yield tuple(gammas)
+
+
+@functools.lru_cache(maxsize=1024)
+def elementary_partitionings_cached(p: int, d: int) -> tuple[tuple[int, ...], ...]:
+    """Memoized, materialized :func:`elementary_partitionings`.
+
+    The optimizer re-walks the same candidate set for every (shape, machine)
+    combination at a given ``(p, d)``; batch sweeps hammer that pattern.  The
+    cache is bounded — the enumeration stays lazy for one-off callers with
+    huge ``p`` (the Figure-2 counting study)."""
+    return tuple(elementary_partitionings(p, d))
 
 
 def elementary_partitionings_unordered(p: int, d: int) -> list[tuple[int, ...]]:
@@ -108,5 +124,5 @@ def count_elementary_partitionings(p: int, d: int) -> int:
         return 1
     count = 1
     for _, r in prime_factorization(p):
-        count *= sum(1 for _ in factor_distributions(r, d))
+        count *= len(factor_distributions_cached(r, d))
     return count

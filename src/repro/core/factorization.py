@@ -9,6 +9,7 @@ to would be noise here.
 
 from __future__ import annotations
 
+import functools
 import math
 from collections import Counter
 from typing import Iterator, Sequence
@@ -29,9 +30,16 @@ def prime_factorization(n: int) -> list[tuple[int, int]]:
     """Return ``[(alpha_1, r_1), ..., (alpha_s, r_s)]`` with primes ascending.
 
     ``n`` must be a positive integer; ``prime_factorization(1) == []``.
+    Results are memoized (factorization is a hot pure function on the sweep
+    paths); the returned list is a fresh copy, safe to mutate.
     """
     if not isinstance(n, int):
         raise TypeError(f"expected int, got {type(n).__name__}")
+    return list(_prime_factorization_cached(n))
+
+
+@functools.lru_cache(maxsize=None)
+def _prime_factorization_cached(n: int) -> tuple[tuple[int, int], ...]:
     if n <= 0:
         raise ValueError(f"expected positive integer, got {n}")
     factors: list[tuple[int, int]] = []
@@ -47,7 +55,7 @@ def prime_factorization(n: int) -> list[tuple[int, int]]:
         candidate += 1 if candidate == 2 else 2
     if remaining > 1:
         factors.append((remaining, 1))
-    return factors
+    return tuple(factors)
 
 
 def factor_multiset(n: int) -> Counter:

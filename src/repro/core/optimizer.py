@@ -24,7 +24,7 @@ import dataclasses
 from typing import Sequence
 
 from .cost import CostModel, Objective, partition_cost, total_sweep_time
-from .elementary import elementary_partitionings, is_valid_partitioning
+from .elementary import elementary_partitionings_cached, is_valid_partitioning
 from .factorization import prime_factorization, product
 
 __all__ = [
@@ -65,7 +65,11 @@ class PartitioningChoice:
             return self.p == 1
         dd = len(effective)
         if dd == 1:
-            return effective[0] == self.p
+            # A lone partitioned dimension is never diagonal-equivalent:
+            # validity (p divides prod_{j != i} gamma_j == 1) forces p == 1,
+            # and even then gamma > 1 piles several tiles per slab onto the
+            # single processor instead of the diagonal's one.
+            return False
         return all(g ** (dd - 1) == self.p for g in effective)
 
 
@@ -78,8 +82,12 @@ def optimal_partitioning(
     """Exhaustive search over elementary partitionings for the minimizer of
     ``sum(gamma_i * lambda_i)`` (or a simplified objective).
 
-    Ties are broken toward the lexicographically-largest reversed tuple so
-    larger dimensions get cut more — a deterministic, shape-aware rule.
+    Ties are broken by a shape-aware rule so larger dimensions get cut more:
+    among minimal-cost candidates, axes are compared largest-extent-first and
+    the candidate putting the most cuts on the largest dimensions wins.
+    Within a class of equal extents the assignment is symmetric, so the
+    remaining tie breaks toward the lexicographically-smallest tuple — fully
+    deterministic either way.
     """
     shape = tuple(int(s) for s in shape)
     if any(s < 1 for s in shape):
@@ -91,17 +99,39 @@ def optimal_partitioning(
         raise ValueError("p must be >= 1")
     model = model or CostModel()
 
-    best: tuple[float, tuple[int, ...]] | None = None
+    # Axes ordered by decreasing extent (index breaks exact-extent ties).
+    order = sorted(range(d), key=lambda i: (-shape[i], i))
+
+    def shape_tiebreak(gammas: tuple[int, ...]) -> tuple[int, ...]:
+        """Minimizing this prefers cutting larger dimensions more.
+
+        Walk the extent classes largest-first; within one class the extents
+        are equal, so only the gamma *multiset* matters there (sorted to make
+        permutations within the class compare equal).
+        """
+        key: list[int] = []
+        i = 0
+        while i < d:
+            j = i
+            group: list[int] = []
+            while j < d and shape[order[j]] == shape[order[i]]:
+                group.append(-gammas[order[j]])
+                j += 1
+            key.extend(sorted(group))
+            i = j
+        return tuple(key)
+
+    best: tuple[float, tuple[int, ...], tuple[int, ...]] | None = None
     examined = 0
-    for gammas in elementary_partitionings(p, d):
+    for gammas in elementary_partitionings_cached(p, d):
         examined += 1
         cost = partition_cost(gammas, shape, p, model, objective)
-        key = (cost, gammas)
+        key = (cost, shape_tiebreak(gammas), gammas)
         if best is None or key < best:
             best = key
     assert best is not None  # p >= 1 always yields at least one candidate
     return PartitioningChoice(
-        gammas=best[1], p=p, cost=best[0], candidates_examined=examined
+        gammas=best[2], p=p, cost=best[0], candidates_examined=examined
     )
 
 
@@ -109,10 +139,14 @@ def greedy_prime_power(p: int, d: int) -> tuple[int, ...]:
     """Greedy distribution for ``p = alpha**r`` (single prime factor) under
     the phase-count objective ``sum(gamma_i)``.
 
-    Splits the ``r + m`` exponent budget as evenly as possible with the max
-    multiplicity ``m = ceil(r/(d-1))`` attained by at least two bins, which
-    is optimal for one prime: any valid distribution has ``sum(e) >= r + max``
-    and ``sum(alpha**e)`` is minimized by flattening exponents.
+    Splits the ``r + m`` exponent budget as evenly as possible, where
+    ``m = ceil(r/(d-1))`` is the smallest feasible max multiplicity.  This is
+    optimal for one prime: validity forces ``sum(e) >= r + max(e)``, the
+    minimal achievable sum is ``r + m``, and for a fixed sum the convexity of
+    ``e -> alpha**e`` means the flattest exponent vector minimizes
+    ``sum(alpha**e)``.  (Filling bins greedily *at the cap* ``m`` instead is
+    not optimal: for ``p = 16, d = 4`` it yields ``(4, 4, 4, 1)`` with phase
+    sum 13, while the even spread ``(4, 4, 2, 2)`` achieves 12.)
     """
     factors = prime_factorization(p)
     if len(factors) != 1:
@@ -122,15 +156,12 @@ def greedy_prime_power(p: int, d: int) -> tuple[int, ...]:
         raise ValueError("need d >= 2")
     m = -(-r // (d - 1))
     total = r + m
-    # Evenly spread `total` with cap m: q bins of m, remainder in one bin.
-    exps = []
-    remaining = total
-    for _ in range(d):
-        e = min(m, remaining)
-        exps.append(e)
-        remaining -= e
-    if remaining != 0:
-        raise AssertionError("exponent budget not exhausted")
+    # Even spread: `rem` bins of base+1, the rest of base.  base+1 <= m by
+    # minimality of m, and with total = d*m - t, t in [0, d-2], the remainder
+    # is never 1, so the maximum is always attained by at least two bins
+    # (the Lemma-1 condition holds).
+    base, rem = divmod(total, d)
+    exps = [base + 1] * rem + [base] * (d - rem)
     gammas = tuple(alpha**e for e in exps)
     if not is_valid_partitioning(gammas, p):
         raise AssertionError("greedy result must be valid")

@@ -17,10 +17,12 @@ for every ``i``) is, per prime, ``sum(e) - e_i >= r`` for every ``i``, i.e.
 
 from __future__ import annotations
 
+import functools
 from typing import Iterator
 
 __all__ = [
     "factor_distributions",
+    "factor_distributions_cached",
     "count_factor_distributions",
     "is_lemma1_distribution",
     "min_max_multiplicity",
@@ -84,6 +86,18 @@ def _place(
         yield from _place(bins, n - m, m, max(0, c - 1), t + 1, d)
 
 
+@functools.lru_cache(maxsize=4096)
+def factor_distributions_cached(r: int, d: int) -> tuple[tuple[int, ...], ...]:
+    """Memoized, materialized :func:`factor_distributions`.
+
+    The distribution set depends only on ``(r, d)`` and is shared across
+    every processor count with a prime factor of multiplicity ``r`` — the
+    dominant repeated work in processor-count sweeps
+    (:func:`repro.core.optimizer.best_processor_count` and the batch runner
+    call this for every ``p'``)."""
+    return tuple(factor_distributions(r, d))
+
+
 def is_lemma1_distribution(exponents: tuple[int, ...], r: int) -> bool:
     """Check the Lemma-1 conditions for one factor's exponent tuple."""
     if len(exponents) < 2 or any(e < 0 for e in exponents):
@@ -98,4 +112,4 @@ def is_lemma1_distribution(exponents: tuple[int, ...], r: int) -> bool:
 def count_factor_distributions(r: int, d: int) -> int:
     """Number of Lemma-1 distributions (used in the Figure-2 complexity
     study; the paper bounds the cross-factor product of these counts)."""
-    return sum(1 for _ in factor_distributions(r, d))
+    return len(factor_distributions_cached(r, d))

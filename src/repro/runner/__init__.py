@@ -1,0 +1,44 @@
+"""Batch experiment runner: grid expansion, parallel execution, result cache.
+
+The pipeline behind ``repro sweep``::
+
+    specs   = expand_grid(load_grid("grid.json"))     # or built from flags
+    cache   = ResultCache(".repro-cache")
+    runner  = BatchRunner(cache=cache, jobs=4, metrics=registry)
+    results = runner.run(specs)                       # spec-ordered dicts
+
+Guarantees: results are a pure function of the specs (bitwise-identical
+across ``--jobs`` settings and across cached/fresh runs), the cache is
+content-addressed by the spec's canonical JSON under a versioned schema tag,
+and corrupted cache entries degrade to misses.
+"""
+
+from __future__ import annotations
+
+from .batch import BatchRunner, BatchStats
+from .cache import ResultCache
+from .execute import resolve_cost_model, resolve_machine, run_spec
+from .grid import expand_grid, load_grid, parse_ints, parse_shapes
+from .spec import (
+    SCHEMA_TAG,
+    ExperimentSpec,
+    machine_spec_fields,
+    spec_for_cost_model,
+)
+
+__all__ = [
+    "SCHEMA_TAG",
+    "ExperimentSpec",
+    "spec_for_cost_model",
+    "machine_spec_fields",
+    "ResultCache",
+    "BatchRunner",
+    "BatchStats",
+    "run_spec",
+    "resolve_machine",
+    "resolve_cost_model",
+    "expand_grid",
+    "load_grid",
+    "parse_shapes",
+    "parse_ints",
+]

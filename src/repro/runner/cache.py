@@ -1,0 +1,98 @@
+"""Content-addressed on-disk result cache for sweep experiments.
+
+Each result lives in its own file named by the spec's SHA-256 cache key, so
+a cache never needs locking for reads and concurrent sweeps over disjoint
+grids never contend.  Entries are written atomically (temp file +
+``os.replace``) and self-describing: the stored document repeats the schema
+tag and the canonical spec, and :meth:`ResultCache.get` re-validates both —
+a corrupted, truncated or stale-schema file degrades to a cache miss, never
+a crash or a wrong result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from .spec import SCHEMA_TAG, ExperimentSpec
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Maps :class:`ExperimentSpec` -> result dict on the filesystem."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike = ".repro-cache",
+        schema_tag: str = SCHEMA_TAG,
+    ):
+        self.root = Path(root)
+        self.schema_tag = schema_tag
+        #: files that existed but failed to parse/validate since construction
+        self.corrupt_reads = 0
+
+    def path_for(self, spec: ExperimentSpec) -> Path:
+        return self.root / f"{spec.cache_key(self.schema_tag)}.json"
+
+    def get(self, spec: ExperimentSpec) -> dict | None:
+        """Return the cached result for ``spec``, or None on a miss.
+
+        Every failure mode — unreadable file, invalid JSON, wrong schema
+        tag, spec mismatch (a hash collision or a hand-edited file) — counts
+        as a miss and bumps :attr:`corrupt_reads` when a file was present.
+        """
+        path = self.path_for(spec)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            doc = json.loads(raw)
+            if (
+                doc["schema"] != self.schema_tag
+                or doc["spec"] != spec.to_canonical()
+            ):
+                raise ValueError("cache entry does not match spec")
+            return doc["result"]
+        except (ValueError, KeyError, TypeError):
+            self.corrupt_reads += 1
+            return None
+
+    def put(self, spec: ExperimentSpec, result: dict) -> Path:
+        """Persist ``result`` for ``spec`` atomically; returns the path."""
+        path = self.path_for(spec)
+        doc = {
+            "schema": self.schema_tag,
+            "spec": spec.to_canonical(),
+            "result": result,
+        }
+        payload = (
+            json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+        ).encode("utf-8")
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(
+            1
+            for entry in self.root.iterdir()
+            if entry.suffix == ".json" and not entry.name.startswith(".")
+        )

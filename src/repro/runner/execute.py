@@ -1,0 +1,174 @@
+"""Worker-side execution of one :class:`ExperimentSpec`.
+
+:func:`run_spec` is the only function a pool worker runs.  It is a module
+top-level (hence picklable by :mod:`concurrent.futures`), takes nothing but
+the spec, and returns a plain-JSON dict — no numpy arrays, no trace objects,
+nothing process-local — so results serialize identically whether they come
+back over a pipe, out of the on-disk cache, or from an inline run.
+
+Determinism contract: the returned dict is a pure function of the spec.
+Everything stochastic is seeded from ``spec.seed``; floats are emitted as
+Python floats whose ``repr`` round-trips exactly through JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .spec import SCHEMA_TAG, ExperimentSpec
+
+__all__ = ["run_spec", "resolve_machine", "resolve_cost_model"]
+
+
+def resolve_machine(spec: ExperimentSpec):
+    """Build the MachineModel a spec names (presets + field overrides)."""
+    from repro.core.cost import NetworkScaling
+    from repro.simmpi.machine import (
+        MachineModel,
+        bus,
+        ethernet_cluster,
+        origin2000,
+    )
+
+    presets = {
+        "origin2000": origin2000,
+        "ethernet_cluster": ethernet_cluster,
+        "bus": bus,
+    }
+    if spec.machine in presets:
+        machine = presets[spec.machine]()
+    else:  # "generic" or "default" — plain constructor defaults
+        machine = MachineModel()
+    overrides = dict(spec.machine_params)
+    if "network" in overrides:
+        overrides["network"] = NetworkScaling(overrides["network"])
+    if "itemsize" in overrides:
+        overrides["itemsize"] = int(overrides["itemsize"])
+    if overrides:
+        machine = dataclasses.replace(machine, **overrides)
+    return machine
+
+
+def resolve_cost_model(spec: ExperimentSpec):
+    """Analytic CostModel for the optimizer: explicit cost_params win,
+    otherwise the named machine's induced model."""
+    from repro.core.cost import CostModel, NetworkScaling
+
+    if spec.machine == "default":
+        base = CostModel()
+    else:
+        base = resolve_machine(spec).to_cost_model()
+    overrides = dict(spec.cost_params)
+    if "scaling" in overrides:
+        overrides["scaling"] = NetworkScaling(overrides["scaling"])
+    if overrides:
+        base = dataclasses.replace(base, **overrides)
+    return base
+
+
+def _problem_for(spec: ExperimentSpec):
+    """(problem, field_shape) for the spec's app."""
+    from repro.apps.adi import ADIProblem
+    from repro.apps.bt import BTProblem
+    from repro.apps.sp import SPProblem
+
+    if spec.app == "sp":
+        prob = SPProblem(spec.shape, steps=spec.steps)
+        return prob, spec.shape
+    if spec.app == "bt":
+        prob = BTProblem(spec.shape, steps=spec.steps)
+        return prob, prob.field_shape
+    prob = ADIProblem(spec.shape, steps=spec.steps)
+    return prob, spec.shape
+
+
+def _plan_for(spec: ExperimentSpec, cost_model):
+    """(partitioning, gammas, cost, candidates_examined, compact)."""
+    from repro.apps.bt import bt_plan
+    from repro.core.api import plan_multipartitioning
+    from repro.core.cost import Objective
+    from repro.core.diagonal import diagonal_applicable, diagonal_nd
+    from repro.core.mapping import Multipartitioning
+
+    d = len(spec.shape)
+    if spec.partitioner == "diagonal":
+        if spec.app == "bt":
+            raise ValueError(
+                "diagonal partitioner does not support BT's component axis"
+            )
+        if not diagonal_applicable(spec.p, d):
+            raise ValueError(
+                f"no diagonal multipartitioning of p={spec.p} in {d}-D"
+            )
+        partitioning = Multipartitioning(
+            owner=diagonal_nd(spec.p, d), nprocs=spec.p
+        )
+        return partitioning, partitioning.gammas, None, 0, True
+    objective = Objective(spec.objective)
+    if spec.app == "bt":
+        plan = bt_plan(spec.shape, spec.p, cost_model)
+    else:
+        plan = plan_multipartitioning(
+            spec.shape, spec.p, cost_model, objective
+        )
+    return (
+        plan.partitioning,
+        plan.gammas,
+        float(plan.choice.cost),
+        plan.choice.candidates_examined,
+        plan.choice.is_compact(),
+    )
+
+
+def run_spec(spec: ExperimentSpec) -> dict:
+    """Execute one experiment and return its JSON-serializable result."""
+    cost_model = resolve_cost_model(spec)
+    problem, field_shape = _problem_for(spec)
+    partitioning, gammas, cost, examined, compact = _plan_for(
+        spec, cost_model
+    )
+    result: dict = {
+        "schema": SCHEMA_TAG,
+        "spec": spec.to_canonical(),
+        "gammas": list(gammas),
+        "cost": cost,
+        "candidates_examined": examined,
+        "compact": compact,
+    }
+    if spec.mode == "plan":
+        return result
+
+    from repro.sweep.sequential import sequential_time
+
+    machine = resolve_machine(spec)
+    schedule = problem.schedule()
+    t_seq = sequential_time(field_shape, schedule, machine)
+    result["sequential_time"] = float(t_seq)
+
+    if spec.mode == "modeled":
+        from repro.sweep.modeled import multipart_time
+
+        t_par = multipart_time(field_shape, partitioning, machine, schedule)
+        result["modeled_time"] = float(t_par)
+        result["speedup"] = float(t_seq / t_par) if t_par > 0 else None
+        return result
+
+    # simulated: push real data through the discrete-event executor and
+    # verify the distributed answer against the sequential solver
+    import numpy as np
+
+    from repro.apps.workloads import random_field
+    from repro.simmpi.summary import RunSummary
+    from repro.sweep.multipart import MultipartExecutor
+    from repro.sweep.sequential import run_sequential
+
+    field = random_field(field_shape, seed=spec.seed)
+    executor = MultipartExecutor(partitioning, field_shape, machine)
+    out, run_result = executor.run(field, schedule)
+    ref = run_sequential(field, schedule)
+    summary = RunSummary.from_result(run_result)
+    result["summary"] = summary.to_dict()
+    result["max_abs_error"] = float(np.abs(out - ref).max())
+    makespan = summary.makespan
+    result["speedup"] = float(t_seq / makespan) if makespan > 0 else None
+    return result

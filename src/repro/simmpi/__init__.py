@@ -44,6 +44,7 @@ from .topology import (
     Topology,
     topology_for,
 )
+from .summary import RunSummary
 from .trace import RunResult, Trace, TraceEvent
 from .traceio import ascii_timeline, to_chrome_trace, write_chrome_trace
 
@@ -67,6 +68,7 @@ __all__ = [
     "RecvOp",
     "SendOp",
     "RunResult",
+    "RunSummary",
     "Trace",
     "TraceEvent",
     "Topology",

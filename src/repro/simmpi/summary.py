@@ -1,0 +1,65 @@
+"""Compact, serializable summaries of simulated runs.
+
+A :class:`~repro.simmpi.trace.RunResult` drags its full event trace along —
+exactly what a profiling session wants and exactly what a batch worker must
+*not* ship back across a process boundary or persist in a result cache.
+:class:`RunSummary` keeps the aggregate story (virtual clocks, message and
+byte counts, compute seconds) and round-trips losslessly through plain JSON
+dicts, so cached sweep results replay bit-identically to fresh runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .trace import RunResult
+
+__all__ = ["RunSummary"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RunSummary:
+    """Trace-free aggregate view of one simulated run."""
+
+    nprocs: int
+    makespan: float
+    clocks: tuple[float, ...]
+    message_count: int
+    total_bytes: int
+    compute_seconds: float
+
+    @classmethod
+    def from_result(cls, result: RunResult) -> "RunSummary":
+        """Summarize a run.  Works for traces recorded with events disabled
+        too — the aggregate counters are maintained unconditionally."""
+        return cls(
+            nprocs=len(result.clocks),
+            makespan=result.makespan,
+            clocks=tuple(float(c) for c in result.clocks),
+            message_count=result.message_count,
+            total_bytes=result.total_bytes,
+            compute_seconds=result.trace.compute_seconds,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable encoding; floats survive exactly (repr
+        round-trip)."""
+        return {
+            "nprocs": self.nprocs,
+            "makespan": self.makespan,
+            "clocks": list(self.clocks),
+            "message_count": self.message_count,
+            "total_bytes": self.total_bytes,
+            "compute_seconds": self.compute_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "RunSummary":
+        return cls(
+            nprocs=int(doc["nprocs"]),
+            makespan=float(doc["makespan"]),
+            clocks=tuple(float(c) for c in doc["clocks"]),
+            message_count=int(doc["message_count"]),
+            total_bytes=int(doc["total_bytes"]),
+            compute_seconds=float(doc["compute_seconds"]),
+        )

@@ -36,9 +36,7 @@ class TestFigure1:
 class TestTable1Rendering:
     def test_contains_key_rows(self):
         prob = sp_class("B", steps=1)
-        rows = sp_speedup_table(
-            prob.shape, prob.schedule(), cpu_counts=(1, 49, 50)
-        )
+        rows = sp_speedup_table(prob.shape, cpu_counts=(1, 49, 50))
         out = format_table1(rows)
         assert "5x10x10" in out
         assert "7x7x7" in out

@@ -14,7 +14,7 @@ from repro.apps.sp import sp_class
 @pytest.fixture(scope="module")
 def table1():
     prob = sp_class("B", steps=1)
-    return sp_speedup_table(prob.shape, prob.schedule())
+    return sp_speedup_table(prob.shape)
 
 
 class TestTableStructure:

@@ -139,3 +139,13 @@ class TestIsElementary:
 
     def test_invalid_rejected(self):
         assert not is_elementary_partitioning((2, 2, 2), 16)
+
+
+class TestCachedEnumeration:
+    def test_cached_matches_generator(self):
+        from repro.core.elementary import elementary_partitionings_cached
+
+        for p, d in [(1, 3), (8, 3), (30, 3), (12, 4), (50, 3)]:
+            assert elementary_partitionings_cached(p, d) == tuple(
+                elementary_partitionings(p, d)
+            )

@@ -126,3 +126,19 @@ class TestMisc:
 
     def test_factor_multiset(self):
         assert factor_multiset(12) == {2: 2, 3: 1}
+
+
+class TestMemoization:
+    def test_returned_list_is_a_fresh_copy(self):
+        """Memoized results must not leak mutable aliases to callers."""
+        first = prime_factorization(360)
+        first.append((999, 1))
+        assert prime_factorization(360) == [(2, 3), (3, 2), (5, 1)]
+
+    def test_errors_still_raised_after_caching(self):
+        with pytest.raises(ValueError):
+            prime_factorization(0)
+        with pytest.raises(ValueError):
+            prime_factorization(0)
+        with pytest.raises(TypeError):
+            prime_factorization(2.0)

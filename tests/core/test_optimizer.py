@@ -8,7 +8,9 @@ from hypothesis import strategies as st
 
 from repro.core.cost import CostModel, Objective, partition_cost
 from repro.core.elementary import is_valid_partitioning
+from repro.core.factorization import is_prime
 from repro.core.optimizer import (
+    PartitioningChoice,
     best_processor_count,
     greedy_prime_power,
     optimal_partitioning,
@@ -96,6 +98,67 @@ class TestOptimalPartitioning:
         assert is_valid_partitioning(choice.gammas, p)
 
 
+class TestShapeAwareTieBreak:
+    """Regression: ties must break shape-aware — larger dimensions get cut
+    more — not toward the lexicographically-smallest tuple."""
+
+    def test_prefers_cutting_large_dimensions(self):
+        choice = optimal_partitioning(
+            (256, 64, 16), 8, objective=Objective.PHASES
+        )
+        assert choice.gammas == (4, 4, 2)
+
+    def test_reversed_orientation(self):
+        choice = optimal_partitioning(
+            (16, 64, 256), 8, objective=Objective.PHASES
+        )
+        assert choice.gammas == (2, 4, 4)
+
+    def test_phases_tiebreak_aligns_with_strictly_decreasing_shape(self):
+        """Under the shape-blind PHASES objective every permutation of the
+        winning multiset ties; the tie-break must hand the biggest tile
+        count to the biggest dimension."""
+        for shape in [(128, 64, 32), (100, 90, 10)]:
+            for p in (6, 8, 12, 16, 24, 50):
+                choice = optimal_partitioning(
+                    shape, p, objective=Objective.PHASES
+                )
+                assert choice.gammas == tuple(
+                    sorted(choice.gammas, reverse=True)
+                ), (shape, p, choice.gammas)
+
+    def test_symmetric_shapes_stay_deterministic(self):
+        """Equal extents leave the rule nothing to discriminate on; the
+        historical lexicographically-smallest pick is kept."""
+        assert optimal_partitioning((102, 102, 102), 50).gammas == (5, 10, 10)
+        assert optimal_partitioning((24, 24, 24), 12).gammas == (2, 6, 6)
+
+
+class TestCompactVsValidity:
+    """Cross-check is_compact against is_valid_partitioning for the
+    degenerate single-partitioned-dimension case: one ``gamma > 1`` is only
+    *valid* when ``p == 1``, and is never *compact* (regression — is_compact
+    used to report True for invalid ``(p, 1, 1)`` shapes)."""
+
+    def test_lone_partitioned_dim_invalid_and_not_compact(self):
+        for p in (2, 3, 4, 8):
+            for g in (p, 2 * p):
+                for gammas in [(g, 1, 1), (1, g, 1), (g, 1)]:
+                    assert not is_valid_partitioning(gammas, p)
+                    choice = PartitioningChoice(gammas, p, 0.0, 1)
+                    assert not choice.is_compact(), (gammas, p)
+
+    def test_lone_partitioned_dim_on_one_proc_valid_but_not_compact(self):
+        """p == 1 makes (g, 1, 1) valid, but g > 1 stacks several tiles per
+        slab on the lone processor — not diagonal-equivalent."""
+        assert is_valid_partitioning((3, 1, 1), 1)
+        assert not PartitioningChoice((3, 1, 1), 1, 0.0, 1).is_compact()
+
+    def test_all_ones_compact_only_on_one_proc(self):
+        assert PartitioningChoice((1, 1, 1), 1, 0.0, 1).is_compact()
+        assert not PartitioningChoice((1, 1, 1), 4, 0.0, 1).is_compact()
+
+
 class TestCompactness:
     def test_tiles_per_processor(self):
         choice = optimal_partitioning((102, 102, 102), 50)
@@ -123,6 +186,32 @@ class TestGreedyPrimePower:
     def test_rejects_composite(self):
         with pytest.raises(ValueError):
             greedy_prime_power(12, 3)
+
+    def test_even_spread_counterexample(self):
+        """Regression: greedy fill at the cap returned (4, 4, 4, 1) — phase
+        sum 13 — where the even spread achieves 12."""
+        gammas = greedy_prime_power(16, 4)
+        assert tuple(sorted(gammas, reverse=True)) == (4, 4, 2, 2)
+        assert sum(gammas) == 12
+
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_optimal_for_all_prime_powers_up_to_256(self, d):
+        """Phase-count optimality against the exhaustive search for every
+        prime power p <= 256."""
+        prime_powers = sorted(
+            alpha**e
+            for alpha in range(2, 257)
+            if is_prime(alpha)
+            for e in range(1, 9)
+            if alpha**e <= 256
+        )
+        for p in prime_powers:
+            greedy = greedy_prime_power(p, d)
+            exact = optimal_partitioning(
+                (64,) * d, p, objective=Objective.PHASES
+            )
+            assert is_valid_partitioning(greedy, p)
+            assert sum(greedy) == sum(exact.gammas), (p, d, greedy)
 
 
 class TestBestProcessorCount:

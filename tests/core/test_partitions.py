@@ -122,3 +122,20 @@ class TestCounting:
     def test_counts_grow_with_r(self):
         counts = [count_factor_distributions(r, 3) for r in range(1, 9)]
         assert counts == sorted(counts)
+
+
+class TestCachedDistributions:
+    def test_cached_matches_generator(self):
+        from repro.core.partitions import factor_distributions_cached
+
+        for r, d in [(1, 2), (3, 3), (5, 3), (4, 4), (2, 5)]:
+            assert factor_distributions_cached(r, d) == tuple(
+                factor_distributions(r, d)
+            )
+
+    def test_cached_returns_same_object(self):
+        from repro.core.partitions import factor_distributions_cached
+
+        assert factor_distributions_cached(4, 3) is (
+            factor_distributions_cached(4, 3)
+        )

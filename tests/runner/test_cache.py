@@ -1,0 +1,93 @@
+"""Cache integrity tests — the satellite's byte-level guarantees."""
+
+import json
+
+from repro.runner import SCHEMA_TAG, ExperimentSpec, ResultCache, run_spec
+
+SPEC = ExperimentSpec(shape=(12, 12, 12), p=4, mode="plan")
+
+
+class TestRoundTrip:
+    def test_put_get_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = run_spec(SPEC)
+        cache.put(SPEC, result)
+        replay = cache.get(SPEC)
+        assert json.dumps(replay, sort_keys=True) == json.dumps(
+            result, sort_keys=True
+        )
+
+    def test_bytes_on_disk_are_canonical_and_stable(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = run_spec(SPEC)
+        path = cache.put(SPEC, result)
+        first = path.read_bytes()
+        cache.put(SPEC, result)
+        assert path.read_bytes() == first  # rewrite is byte-identical
+
+    def test_miss_on_empty_cache(self, tmp_path):
+        assert ResultCache(tmp_path).get(SPEC) is None
+
+    def test_len_counts_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+        cache.put(SPEC, run_spec(SPEC))
+        other = ExperimentSpec(shape=(12, 12, 12), p=6, mode="plan")
+        cache.put(other, run_spec(other))
+        assert len(cache) == 2
+
+
+class TestSchemaVersioning:
+    def test_schema_tag_bump_invalidates(self, tmp_path):
+        old = ResultCache(tmp_path, schema_tag=SCHEMA_TAG)
+        old.put(SPEC, run_spec(SPEC))
+        new = ResultCache(tmp_path, schema_tag="repro.sweep-result.v2")
+        # different tag -> different key -> the old entry is simply unseen
+        assert new.get(SPEC) is None
+        assert old.get(SPEC) is not None
+
+    def test_stored_doc_with_wrong_tag_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(SPEC, run_spec(SPEC))
+        doc = json.loads(path.read_text())
+        doc["schema"] = "repro.sweep-result.v0"
+        path.write_text(json.dumps(doc))
+        assert cache.get(SPEC) is None
+        assert cache.corrupt_reads == 1
+
+
+class TestCorruption:
+    def test_truncated_file_is_miss_not_crash(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(SPEC, run_spec(SPEC))
+        path.write_bytes(path.read_bytes()[: 40])
+        assert cache.get(SPEC) is None
+        assert cache.corrupt_reads == 1
+
+    def test_garbage_file_is_miss_not_crash(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.path_for(SPEC)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{not json at all")
+        assert cache.get(SPEC) is None
+        assert cache.corrupt_reads == 1
+
+    def test_spec_mismatch_is_miss(self, tmp_path):
+        """An entry whose embedded spec disagrees with the requesting spec
+        (hand-edited file, or a hash collision) must not be returned."""
+        cache = ResultCache(tmp_path)
+        path = cache.put(SPEC, run_spec(SPEC))
+        doc = json.loads(path.read_text())
+        doc["spec"]["p"] = 99
+        path.write_text(json.dumps(doc))
+        assert cache.get(SPEC) is None
+        assert cache.corrupt_reads == 1
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(SPEC, run_spec(SPEC))
+        leftovers = [
+            p.name for p in cache.root.iterdir()
+            if p.name.startswith(".tmp-")
+        ]
+        assert leftovers == []

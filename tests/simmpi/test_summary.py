@@ -1,0 +1,61 @@
+"""Tests for RunSummary — the trace-free transport of simulated results."""
+
+import json
+
+from repro.simmpi import Comm, RunSummary, origin2000, run
+
+
+def _pingpong(comm: Comm):
+    if comm.rank == 0:
+        yield from comm.send({"x": 1.0}, dest=1)
+        data = yield from comm.recv(source=1)
+    else:
+        data = yield from comm.recv(source=0)
+        yield from comm.send(data, dest=0)
+    yield from comm.compute(1e-4)
+    return comm.rank
+
+
+class TestFromResult:
+    def test_aggregates_match_run_result(self):
+        result = run(origin2000(), _pingpong, nprocs=2)
+        summary = RunSummary.from_result(result)
+        assert summary.nprocs == 2
+        assert summary.makespan == result.makespan
+        assert summary.clocks == tuple(result.clocks)
+        assert summary.message_count == result.message_count == 2
+        assert summary.total_bytes == result.total_bytes
+        assert summary.compute_seconds == result.trace.compute_seconds
+
+    def test_works_without_event_recording(self):
+        """Counters are maintained even when the trace keeps no events —
+        the batch-worker configuration."""
+        result = run(origin2000(), _pingpong, nprocs=2, record_events=False)
+        assert result.trace.events == []
+        summary = RunSummary.from_result(result)
+        assert summary.message_count == 2
+        assert summary.compute_seconds > 0
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_exact(self):
+        result = run(origin2000(), _pingpong, nprocs=2)
+        summary = RunSummary.from_result(result)
+        again = RunSummary.from_dict(summary.to_dict())
+        assert again == summary
+
+    def test_json_round_trip_exact(self):
+        """Floats must survive JSON bit-exactly (repr round-trip) — the
+        cache's bitwise-determinism guarantee rests on this."""
+        result = run(origin2000(), _pingpong, nprocs=2)
+        summary = RunSummary.from_result(result)
+        over_wire = json.loads(json.dumps(summary.to_dict()))
+        assert RunSummary.from_dict(over_wire) == summary
+        assert over_wire["makespan"] == summary.makespan
+
+    def test_is_picklable(self):
+        import pickle
+
+        result = run(origin2000(), _pingpong, nprocs=2)
+        summary = RunSummary.from_result(result)
+        assert pickle.loads(pickle.dumps(summary)) == summary

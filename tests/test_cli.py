@@ -179,3 +179,81 @@ class TestExtensionCommands:
         np.save(bad, np.zeros((2, 2), dtype=np.int64))
         out = run_cli(capsys, "diagnose", str(bad), "-p", "2")
         assert "NOT a multipartitioning" in out
+
+
+class TestSweep:
+    GRID_ARGS = (
+        "sweep", "--shapes", "8x8x8", "--nprocs", "1,2,4",
+        "--apps", "sp,adi", "--mode", "plan",
+    )
+
+    def test_inline_flags_text_output(self, capsys, tmp_path):
+        out = run_cli(
+            capsys, *self.GRID_ARGS, "--cache-dir", str(tmp_path / "c")
+        )
+        assert "6 specs" in out
+        assert "miss" in out
+        assert "hit rate" in out
+
+    def test_second_invocation_all_hits(self, capsys, tmp_path):
+        cache = str(tmp_path / "c")
+        run_cli(capsys, *self.GRID_ARGS, "--cache-dir", cache)
+        out = run_cli(capsys, *self.GRID_ARGS, "--cache-dir", cache)
+        assert "6 hits, 0 misses (100% hit rate)" in out
+
+    def test_no_cache_bypasses(self, capsys, tmp_path):
+        cache = str(tmp_path / "c")
+        run_cli(capsys, *self.GRID_ARGS, "--cache-dir", cache)
+        out = run_cli(
+            capsys, *self.GRID_ARGS, "--cache-dir", cache, "--no-cache"
+        )
+        assert "0 hits, 6 misses" in out
+
+    def test_json_output_is_deterministic_across_jobs(self, capsys):
+        import json
+
+        args = (
+            "sweep", "--shapes", "8x8x8", "--nprocs", "1,2,4",
+            "--mode", "simulated", "--no-cache", "--json",
+        )
+        doc1 = json.loads(run_cli(capsys, *args, "--jobs", "1"))
+        doc2 = json.loads(run_cli(capsys, *args, "--jobs", "2"))
+        assert doc1["schema"] == "repro.sweep-result.v1"
+        assert json.dumps(doc1["results"]) == json.dumps(doc2["results"])
+        assert doc1["stats"]["metrics"]["counters"]["sweep.specs"][
+            "total"
+        ] == 3
+
+    def test_grid_file(self, capsys, tmp_path):
+        import json
+
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps({
+            "mode": "plan",
+            "shapes": [[8, 8, 8]],
+            "nprocs": [2, 4],
+        }))
+        out = run_cli(
+            capsys, "sweep", "--grid", str(grid),
+            "--cache-dir", str(tmp_path / "c"),
+        )
+        assert "2 specs" in out
+
+    def test_errors_surface_with_exit_code(self, capsys, tmp_path):
+        import json
+
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps({
+            "mode": "plan",
+            "shapes": [[8, 8, 8]],
+            "nprocs": [4, 6],
+            "partitioners": ["diagonal"],
+        }))
+        assert main([
+            "sweep", "--grid", str(grid), "--no-cache",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "ERROR" in out
+
+    def test_requires_grid_or_flags(self, capsys):
+        assert main(["sweep"]) == 2
