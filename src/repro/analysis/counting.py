@@ -1,15 +1,23 @@
-"""Enumeration-size study for the Figure-2 complexity claim.
+"""Analytic counting: enumeration sizes and communication totals.
 
-The paper proves the number of elementary partitionings is
+Two independent counting results live here.  The Figure-2 complexity claim:
+the paper proves the number of elementary partitionings is
 ``O((d(d-1)/2) ** ((1 + o(1)) * log p / log log p))`` and that the bound is
-tight.  This module computes exact counts and the bound's main term so the
-claim can be checked empirically (the worst cases are highly-composite
+tight, so :func:`count_table` / :func:`worst_case_counts` compute exact
+counts against the bound's main term (the worst cases are highly-composite
 ``p``, where ``log p / log log p`` tracks the divisor-count growth).
+
+And the Section-5 communication structure: with the neighbor property every
+sweep phase costs exactly one aggregated message per rank, so the message
+and byte totals of a whole schedule are closed-form in the tile geometry.
+:func:`schedule_comm_totals` computes them; the simulator must agree
+*exactly* (cross-checked in CI against ``repro sweep --mode skeleton``).
 """
 
 from __future__ import annotations
 
 import math
+from math import prod
 
 from repro.core.elementary import count_elementary_partitionings
 
@@ -18,6 +26,7 @@ __all__ = [
     "count_table",
     "worst_case_counts",
     "primorials",
+    "schedule_comm_totals",
 ]
 
 
@@ -64,3 +73,59 @@ def worst_case_counts(limit: int, d: int = 3) -> list[tuple[int, int, float]]:
         (p, count_elementary_partitionings(p, d), bound_main_term(p, d))
         for p in primorials(limit)
     ]
+
+
+def schedule_comm_totals(
+    shape: tuple[int, ...],
+    partitioning,
+    schedule,
+    aggregate: bool = True,
+    itemsize: int = 8,
+) -> tuple[int, int]:
+    """Closed-form ``(messages, bytes)`` a multipartitioned execution of
+    ``schedule`` sends — exactly what :class:`~repro.sweep.multipart
+    .MultipartExecutor` (real or skeleton) reports.
+
+    Per sweep along an axis with ``gamma`` slabs: ``gamma - 1`` phase
+    transitions, each moving one boundary plane per tile.  Slab tiles cover
+    the array cross-section exactly (BLOCK remainder rule included), so each
+    transition carries ``itemsize * prod(shape) / shape[axis]`` bytes — in
+    ``p`` aggregated messages (one per rank, the neighbor property) or one
+    per tile (``prod(gammas)/gamma``) when aggregation is off.
+
+    Per :class:`~repro.sweep.ops.StencilOp` side ``(axis, step)`` with
+    ``width > 0`` and ``gamma > 1``: every tile outside the boundary slab
+    ships ``width`` face planes, aggregated into one message per rank
+    (every rank owns tiles in every slab — the balance property — so all
+    ``p`` ranks send).
+    """
+    from repro.sweep.ops import BlockSweepOp, StencilOp, SweepOp
+
+    gammas = partitioning.gammas
+    ndim = len(gammas)
+    p = partitioning.nprocs
+    messages = 0
+    nbytes = 0
+    for op in schedule:
+        if isinstance(op, (SweepOp, BlockSweepOp)):
+            axis = op.axis % ndim
+            gamma = gammas[axis]
+            if gamma == 1:
+                continue
+            cross_bytes = itemsize * (prod(shape) // shape[axis])
+            per_phase = p if aggregate else prod(gammas) // gamma
+            messages += (gamma - 1) * per_phase
+            nbytes += (gamma - 1) * cross_bytes
+        elif isinstance(op, StencilOp):
+            reach = op.pad_widths(ndim)
+            for axis in range(ndim):
+                gamma = gammas[axis]
+                if gamma == 1:
+                    continue
+                cross_bytes = itemsize * (prod(shape) // shape[axis])
+                for width in reach[axis]:
+                    if width == 0:
+                        continue
+                    messages += p
+                    nbytes += (gamma - 1) * width * cross_bytes
+    return messages, nbytes

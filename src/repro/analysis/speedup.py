@@ -4,8 +4,10 @@
 speedups for the hand-coded MPI version (3-D *diagonal* multipartitioning,
 perfect-square processor counts only) versus dHPF-generated code
 (*generalized* multipartitioning, any processor count).  Times come from the
-modeled executors over the Origin-2000 machine preset; speedups are relative
-to the sequential schedule time, as in the paper (footnote 2).
+modeled executors over the Origin-2000 machine preset — or, with
+``mode="skeleton"``, from payload-free discrete-event simulation at full
+class-B scale; speedups are relative to the sequential schedule time, as in
+the paper (footnote 2).
 
 The table is produced by fanning modeled :class:`ExperimentSpec` configs
 through the :mod:`repro.runner` batch machinery — pass ``runner=`` a
@@ -78,16 +80,21 @@ def sp_speedup_table(
     machine: MachineModel | None = None,
     dhpf_compute_overhead: float = 1.03,
     runner: BatchRunner | None = None,
+    mode: str = "modeled",
 ) -> list[SpeedupRow]:
-    """Modeled Table 1.
+    """Table 1, modeled or simulated.
 
     ``dhpf_compute_overhead`` inflates compiler-generated compute slightly
     (generated loop nests vs hand-tuned Fortran); the hand-coded column uses
     the raw model.  The hand-coded version exists only on perfect squares
     (it is restricted to diagonal multipartitionings).  All configurations
     run through ``runner`` (a fresh cacheless :class:`BatchRunner` by
-    default) as modeled SP experiment specs.
+    default) as SP experiment specs in the given ``mode``: ``"modeled"``
+    (closed form, the historical default) or ``"skeleton"`` (payload-free
+    discrete-event simulation — tractable even at class B for p <= 64).
     """
+    if mode not in ("modeled", "simulated", "skeleton"):
+        raise ValueError(f"unsupported table mode {mode!r}")
     machine = machine or origin2000()
     machine_name, machine_params = machine_spec_fields(machine)
     runner = runner or BatchRunner()
@@ -96,13 +103,18 @@ def sp_speedup_table(
         return ExperimentSpec(
             shape=shape,
             p=p,
-            mode="modeled",
+            mode=mode,
             app="sp",
             machine=machine_name,
             machine_params=machine_params,
             partitioner=partitioner,
             steps=steps,
         )
+
+    def par_time(res: dict) -> float:
+        if mode == "modeled":
+            return res["modeled_time"]
+        return res["summary"]["makespan"]
 
     diag_counts = [p for p in cpu_counts if diagonal_applicable(p, 3)]
     specs = [spec(p, "optimal") for p in cpu_counts] + [
@@ -119,10 +131,10 @@ def sp_speedup_table(
     for p in cpu_counts:
         res = dhpf[p]
         t_seq = res["sequential_time"]
-        t_dhpf = res["modeled_time"] * dhpf_compute_overhead
+        t_dhpf = par_time(res) * dhpf_compute_overhead
         hand_time = hand_speedup = pct = None
         if p in hand:
-            hand_time = hand[p]["modeled_time"]
+            hand_time = par_time(hand[p])
             hand_speedup = t_seq / hand_time
             pct = (hand_speedup - t_seq / t_dhpf) / hand_speedup * 100.0
         rows.append(

@@ -43,6 +43,11 @@ class ADIProblem:
         if self.tau <= 0:
             raise ValueError("tau must be positive")
 
+    @property
+    def field_shape(self) -> tuple[int, ...]:
+        """Shape of the distributed field array (uniform app API)."""
+        return self.shape
+
     def coefficients(self) -> tuple[float, float, float]:
         """(a, b, c) of the implicit tridiagonal operator — diagonally
         dominant for any ``tau > 0``."""

@@ -72,6 +72,12 @@ class SPProblem:
                 "tridiagonal factor must be diagonally dominant"
             )
 
+    @property
+    def field_shape(self) -> tuple[int, int, int]:
+        """Shape of the distributed field array (uniform app API; SP's
+        field is the grid itself, unlike BT's trailing component axis)."""
+        return self.shape
+
     # -- schedule construction ----------------------------------------------
 
     def solve_ops(self, axis: int) -> list:

@@ -58,6 +58,15 @@ def build_parser() -> argparse.ArgumentParser:
     t1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     t1.add_argument("--class", dest="cls", default="B",
                     choices=["S", "W", "A", "B", "C"])
+    t1.add_argument(
+        "--mode", default="modeled", choices=["modeled", "skeleton"],
+        help="modeled: closed-form times (default); skeleton: payload-free "
+        "discrete-event simulation at full scale",
+    )
+    t1.add_argument(
+        "--max-p", type=int, default=None,
+        help="cap the processor counts (e.g. 64 keeps skeleton runs quick)",
+    )
 
     sub.add_parser("figure1", help="regenerate the paper's Figure 1")
 
@@ -157,7 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--machines", type=str, default="origin2000",
                        help="comma list of machine presets")
     sweep.add_argument("--mode", default="modeled",
-                       choices=["plan", "modeled", "simulated"])
+                       choices=["plan", "modeled", "simulated", "skeleton"])
     sweep.add_argument("--objective", default="full",
                        choices=["full", "phases", "volume"])
     sweep.add_argument("--steps", type=int, default=1)
@@ -256,7 +265,8 @@ def _run_sweep(args, out) -> int:
             source,
         ])
     time_label = {
-        "plan": "cost", "modeled": "time(s)", "simulated": "makespan(s)"
+        "plan": "cost", "modeled": "time(s)", "simulated": "makespan(s)",
+        "skeleton": "makespan(s)",
     }[doc.get("mode", "modeled")]
     print(
         format_table(
@@ -324,12 +334,17 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "table1":
         from repro.analysis.report import format_table1
-        from repro.analysis.speedup import sp_speedup_table
+        from repro.analysis.speedup import PAPER_CPU_COUNTS, sp_speedup_table
         from repro.apps.sp import sp_class
 
         prob = sp_class(args.cls, steps=1)
-        rows = sp_speedup_table(prob.shape, steps=1)
-        print(format_table1(rows), file=out)
+        counts = PAPER_CPU_COUNTS
+        if args.max_p is not None:
+            counts = tuple(p for p in counts if p <= args.max_p)
+        rows = sp_speedup_table(
+            prob.shape, steps=1, cpu_counts=counts, mode=args.mode
+        )
+        print(format_table1(rows, mode=args.mode), file=out)
         return 0
 
     if args.command == "figure1":

@@ -72,14 +72,9 @@ def _problem_for(spec: ExperimentSpec):
     from repro.apps.bt import BTProblem
     from repro.apps.sp import SPProblem
 
-    if spec.app == "sp":
-        prob = SPProblem(spec.shape, steps=spec.steps)
-        return prob, spec.shape
-    if spec.app == "bt":
-        prob = BTProblem(spec.shape, steps=spec.steps)
-        return prob, prob.field_shape
-    prob = ADIProblem(spec.shape, steps=spec.steps)
-    return prob, spec.shape
+    cls = {"sp": SPProblem, "bt": BTProblem, "adi": ADIProblem}[spec.app]
+    prob = cls(spec.shape, steps=spec.steps)
+    return prob, prob.field_shape
 
 
 def _plan_for(spec: ExperimentSpec, cost_model):
@@ -153,13 +148,29 @@ def run_spec(spec: ExperimentSpec) -> dict:
         result["speedup"] = float(t_seq / t_par) if t_par > 0 else None
         return result
 
+    from repro.simmpi.summary import RunSummary
+    from repro.sweep.multipart import MultipartExecutor
+
+    if spec.mode == "skeleton":
+        # payload-free replay: same timing/comm story as simulated mode
+        # (pinned by the equivalence tests), no data to verify
+        executor = MultipartExecutor(
+            partitioning, field_shape, machine, payload="skeleton"
+        )
+        run_result = executor.run_skeleton(schedule)
+        summary = RunSummary.from_result(run_result)
+        result["summary"] = summary.to_dict()
+        makespan = summary.makespan
+        result["speedup"] = (
+            float(t_seq / makespan) if makespan > 0 else None
+        )
+        return result
+
     # simulated: push real data through the discrete-event executor and
     # verify the distributed answer against the sequential solver
     import numpy as np
 
     from repro.apps.workloads import random_field
-    from repro.simmpi.summary import RunSummary
-    from repro.sweep.multipart import MultipartExecutor
     from repro.sweep.sequential import run_sequential
 
     field = random_field(field_shape, seed=spec.seed)

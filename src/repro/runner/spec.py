@@ -15,7 +15,10 @@ Evaluation modes:
 * ``modeled``   — closed-form execution time of the app's schedule
   (:mod:`repro.sweep.modeled`), plus sequential baseline and speedup;
 * ``simulated`` — real-data run through :class:`MultipartExecutor` on the
-  discrete-event simulator, verified against the sequential solver.
+  discrete-event simulator, verified against the sequential solver;
+* ``skeleton``  — the same simulated run payload-free: identical message
+  counts, bytes, and makespan (pinned by equivalence tests) but no array
+  data, unlocking class A/B shapes at p <= 64.
 """
 
 from __future__ import annotations
@@ -34,9 +37,11 @@ __all__ = [
 
 #: version tag of the *result* schema; baked into every cache key so that a
 #: format change invalidates all previously cached entries at once
-SCHEMA_TAG = "repro.sweep-result.v1"
+#: (v2: structural message byte accounting, comm/blocked summary fields,
+#: per-op tile overhead in the sequential baseline, skeleton mode)
+SCHEMA_TAG = "repro.sweep-result.v2"
 
-MODES = ("plan", "modeled", "simulated")
+MODES = ("plan", "modeled", "simulated", "skeleton")
 APPS = ("sp", "bt", "adi")
 #: preset machine names (resolved in repro.runner.execute); "default" means
 #: the plain analytic CostModel() and is only meaningful in plan mode

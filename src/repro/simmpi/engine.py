@@ -33,12 +33,24 @@ Observability hooks
   open phases; every event is stamped with the "/"-joined path of that
   stack (``TraceEvent.phase``), attributing all compute/send/recv time to
   the innermost open phase.
+
+The null-emit fast path
+-----------------------
+
+When ``record_events=False`` *and* no sinks are attached, nobody can ever
+observe a :class:`TraceEvent`, so the engine skips constructing them
+entirely (no dataclass allocation, no ``detail`` string formatting, no sink
+fan-out).  All aggregate accounting survives: the per-rank virtual clocks
+and per-rank compute/comm/blocked second totals are accumulated
+unconditionally, so :class:`~repro.simmpi.trace.RunResult` /
+:class:`~repro.simmpi.summary.RunSummary` report identical numbers with and
+without tracing — pinned by ``tests/simmpi/test_engine_fastpath.py``.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections import defaultdict, deque
+from heapq import heappop, heappush
 from typing import Callable, Generator, Iterable
 
 from repro.core.cost import NetworkScaling
@@ -117,111 +129,147 @@ class Engine:
         self.nprocs = nprocs
         self.trace = Trace(enabled=record_events)
         self.sinks = tuple(sinks)
-        # FIFO queues of undelivered messages keyed by (source, dest, tag).
-        self._mailbox: dict[tuple[int, int, int], deque[Message]] = (
-            defaultdict(deque)
-        )
-        # arrival order per (source, dest) for ANY_TAG matching
-        self._arrival_seq: dict[tuple[int, int], deque[Message]] = (
-            defaultdict(deque)
-        )
+        # null-emit fast path: with no in-memory trace and no sinks, no
+        # TraceEvent can ever be observed, so none is constructed
+        self._fast = not record_events and not self.sinks
+        # per-destination FIFO queues of undelivered messages, keyed
+        # (source, tag), plus per-destination arrival order per source for
+        # ANY_TAG matching — indexing by dest first avoids building a
+        # 3-tuple key per send/recv on the hot path
+        self._inbox: list[dict[tuple[int, int], deque[Message]]] = [
+            defaultdict(deque) for _ in range(nprocs)
+        ]
+        self._arrivals: list[dict[int, deque[Message]]] = [
+            defaultdict(deque) for _ in range(nprocs)
+        ]
         self._bus_free_at = 0.0
-        # wake index: (source, dest) -> blocked receiver rank, plus the
-        # (source, dest) pairs that received new messages since the last
-        # wake sweep — only those receivers need re-polling.
-        self._waiters: dict[tuple[int, int], int] = {}
-        self._dirty: list[tuple[int, int]] = []
+        self._bus = machine.network is NetworkScaling.BUS
+        # bound-method caches for the per-op timing calls
+        self._send_cpu_time = machine.send_cpu_time
+        self._recv_cpu_time = machine.recv_cpu_time
+        self._transfer_time = machine.transfer_time
+        # wake index: _waiting_src[rank] is the source a blocked rank is
+        # receiving from (-1 when runnable); _dirty lists the blocked ranks
+        # whose awaited source sent since the last wake sweep
+        self._waiting_src = [-1] * nprocs
+        self._dirty: list[int] = []
+        # aggregate accounting, maintained on both the traced and the
+        # null-emit paths (engine-owned; folded into `trace` at run end)
+        self._msg_count = 0
+        self._total_bytes = 0
+        self._compute_s = [0.0] * nprocs
+        self._comm_s = [0.0] * nprocs
+        self._blocked_s = [0.0] * nprocs
 
     # -- event fan-out -------------------------------------------------------
 
     def _emit(self, event: TraceEvent) -> None:
-        self.trace.record(event)
+        """Append one event to the in-memory trace and fan it out to sinks
+        (never called on the fast path — aggregate counters are maintained
+        directly by the op handlers)."""
+        if self.trace.enabled:
+            self.trace.events.append(event)
         for sink in self.sinks:
             sink.on_event(event)
 
     # -- op handlers ---------------------------------------------------------
 
     def _do_send(self, rank: int, state: _RankState, op: SendOp) -> None:
-        if not 0 <= op.dest < self.nprocs:
-            raise ValueError(f"rank {rank}: send to invalid dest {op.dest}")
+        dest = op.dest
+        if not 0 <= dest < self.nprocs:
+            raise ValueError(f"rank {rank}: send to invalid dest {dest}")
         nbytes = payload_nbytes(op.payload)
         start = state.clock
-        state.clock += self.machine.send_cpu_time(nbytes)
-        wire_start = state.clock
-        if self.machine.network is NetworkScaling.BUS:
-            wire_start = max(wire_start, self._bus_free_at)
-        arrives = wire_start + self.machine.transfer_time(
-            nbytes, src=rank, dst=op.dest
-        )
-        if self.machine.network is NetworkScaling.BUS:
+        clock = start + self._send_cpu_time(nbytes)
+        state.clock = clock
+        self._comm_s[rank] += clock - start
+        wire_start = clock
+        if self._bus and self._bus_free_at > wire_start:
+            wire_start = self._bus_free_at
+        arrives = wire_start + self._transfer_time(nbytes, src=rank, dst=dest)
+        if self._bus:
             self._bus_free_at = arrives
         msg = Message(
             source=rank,
-            dest=op.dest,
+            dest=dest,
             tag=op.tag,
             payload=op.payload,
             nbytes=nbytes,
-            sent_at=state.clock,
+            sent_at=clock,
             arrives_at=arrives,
         )
-        self._mailbox[(rank, op.dest, op.tag)].append(msg)
-        self._arrival_seq[(rank, op.dest)].append(msg)
-        self._dirty.append((rank, op.dest))
-        self._emit(
-            TraceEvent(
-                rank=rank,
-                kind="send",
-                start=start,
-                end=state.clock,
-                detail=f"->{op.dest} tag={op.tag}",
-                nbytes=nbytes,
-                peer=op.dest,
-                tag=op.tag,
-                arrival=arrives,
-                phase=state.phase_path,
+        self._inbox[dest][(rank, op.tag)].append(msg)
+        self._arrivals[dest][rank].append(msg)
+        if self._waiting_src[dest] == rank:
+            self._dirty.append(dest)
+        self._msg_count += 1
+        self._total_bytes += nbytes
+        if not self._fast:
+            self._emit(
+                TraceEvent(
+                    rank=rank,
+                    kind="send",
+                    start=start,
+                    end=clock,
+                    detail=f"->{dest} tag={op.tag}",
+                    nbytes=nbytes,
+                    peer=dest,
+                    tag=op.tag,
+                    arrival=arrives,
+                    phase=state.phase_path,
+                )
             )
-        )
 
     def _try_recv(self, rank: int, state: _RankState, op: RecvOp) -> bool:
         """Attempt to complete a receive; True on success."""
-        if not 0 <= op.source < self.nprocs:
+        source = op.source
+        if not 0 <= source < self.nprocs:
             raise ValueError(
-                f"rank {rank}: recv from invalid source {op.source}"
+                f"rank {rank}: recv from invalid source {source}"
             )
         if op.tag == ANY_TAG:
-            seq = self._arrival_seq[(op.source, rank)]
+            seq = self._arrivals[rank][source]
             if not seq:
                 return False
             msg = seq.popleft()
-            self._mailbox[(op.source, rank, msg.tag)].remove(msg)
+            self._inbox[rank][(source, msg.tag)].remove(msg)
         else:
-            q = self._mailbox[(op.source, rank, op.tag)]
+            q = self._inbox[rank][(source, op.tag)]
             if not q:
                 return False
             msg = q.popleft()
-            self._arrival_seq[(op.source, rank)].remove(msg)
-        start = max(state.clock, msg.arrives_at)
-        state.clock = start + self.machine.recv_cpu_time(msg.nbytes)
+            self._arrivals[rank][source].remove(msg)
+        clock = state.clock
+        start = msg.arrives_at
+        if start < clock:
+            start = clock
+        else:
+            self._blocked_s[rank] += start - clock
+        end = start + self._recv_cpu_time(msg.nbytes)
+        state.clock = end
+        self._comm_s[rank] += end - start
         state.pending_value = msg.payload
-        self._emit(
-            TraceEvent(
-                rank=rank,
-                kind="recv",
-                start=start,
-                end=state.clock,
-                detail=f"<-{op.source} tag={msg.tag}",
-                nbytes=msg.nbytes,
-                peer=op.source,
-                tag=msg.tag,
-                arrival=msg.arrives_at,
-                phase=state.phase_path,
+        if not self._fast:
+            self._emit(
+                TraceEvent(
+                    rank=rank,
+                    kind="recv",
+                    start=start,
+                    end=end,
+                    detail=f"<-{source} tag={msg.tag}",
+                    nbytes=msg.nbytes,
+                    peer=source,
+                    tag=msg.tag,
+                    arrival=msg.arrives_at,
+                    phase=state.phase_path,
+                )
             )
-        )
         return True
 
     def _do_compute(self, rank: int, state: _RankState, op: ComputeOp) -> None:
         start = state.clock
-        state.clock += op.seconds
+        state.clock = start + op.seconds
+        self._compute_s[rank] += op.seconds
         self._emit(
             TraceEvent(
                 rank=rank,
@@ -246,16 +294,17 @@ class Engine:
                     f"rank {rank}: phase_end({name!r}) does not match the "
                     f"innermost open phase {open_phase!r}"
                 )
-        self._emit(
-            TraceEvent(
-                rank=rank,
-                kind="mark",
-                start=state.clock,
-                end=state.clock,
-                detail=label,
-                phase=state.phase_path,
+        if not self._fast:
+            self._emit(
+                TraceEvent(
+                    rank=rank,
+                    kind="mark",
+                    start=state.clock,
+                    end=state.clock,
+                    detail=label,
+                    phase=state.phase_path,
+                )
             )
-        )
         if label.startswith(PHASE_END):
             state.phases.pop()
             state.phase_path = "/".join(state.phases)
@@ -291,10 +340,17 @@ class Engine:
                     if not s.done
                 ]
                 raise SimDeadlockError(_deadlock_message(blocked))
+        trace = self.trace
+        trace.message_count = self._msg_count
+        trace.total_bytes = self._total_bytes
+        trace.compute_seconds = sum(self._compute_s)
         result = RunResult(
             clocks=tuple(s.clock for s in states),
             returns=tuple(s.result for s in states),
-            trace=self.trace,
+            trace=trace,
+            compute_by_rank=tuple(self._compute_s),
+            comm_by_rank=tuple(self._comm_s),
+            blocked_by_rank=tuple(self._blocked_s),
         )
         for sink in self.sinks:
             on_run_end = getattr(sink, "on_run_end", None)
@@ -302,32 +358,34 @@ class Engine:
                 on_run_end(result)
         return result
 
-    def _take_ready(self, states: list[_RankState]) -> set[int]:
-        """Blocked ranks whose (source, dest) mailbox gained a message
-        since the last sweep.  Consumes the dirty list."""
-        ready: set[int] = set()
-        for pair in self._dirty:
-            waiter = self._waiters.get(pair)
-            if waiter is not None:
-                ready.add(waiter)
-        self._dirty.clear()
+    def _take_ready(self) -> list[int]:
+        """Blocked ranks whose awaited source sent a message since the last
+        sweep.  Consumes the dirty list."""
+        ready = self._dirty
+        if ready:
+            self._dirty = []
         return ready
 
     def _drain_wakeups(self, states: list[_RankState]) -> None:
-        """Re-poll only the blocked receivers whose mailbox changed.
+        """Re-poll only the blocked receivers whose awaited source has sent.
 
-        Order matches the historical full O(nprocs^2) scan exactly: each
-        pass visits candidates in ascending rank order; a rank dirtied
-        mid-pass joins the current pass if its rank number is still ahead
-        of the scan position, otherwise the next pass.
+        The wake index (``_waiting_src`` + ``_dirty``) makes each sweep
+        O(#ranks-with-new-mail) instead of rescanning every blocked rank:
+        a send to rank ``r`` marks ``r`` dirty only when ``r`` is currently
+        blocked on that source, and only dirty ranks are re-polled here.
+        Wake *order* still matches a full ascending-rank scan exactly (the
+        equivalence is pinned by a hypothesis stress test): each pass visits
+        candidates in ascending rank order; a rank dirtied mid-pass joins
+        the current pass if its rank number is still ahead of the scan
+        position, otherwise the next pass.
         """
-        ready = self._take_ready(states)
+        ready = self._take_ready()
         while ready:
-            heap = sorted(ready)
+            heap = sorted(set(ready))
             in_pass = set(heap)
-            ready = set()
+            next_pass: set[int] = set()
             while heap:
-                rank = heapq.heappop(heap)
+                rank = heappop(heap)
                 in_pass.discard(rank)
                 state = states[rank]
                 op = state.blocked
@@ -336,35 +394,57 @@ class Engine:
                 if not self._try_recv(rank, state, op):
                     continue
                 state.blocked = None
-                self._waiters.pop((op.source, rank), None)
+                self._waiting_src[rank] = -1
                 self._advance(rank, state)
-                for newly in self._take_ready(states):
-                    if newly in in_pass or newly in ready:
+                for newly in self._take_ready():
+                    if newly in in_pass or newly in next_pass:
                         continue
                     if newly > rank:
-                        heapq.heappush(heap, newly)
+                        heappush(heap, newly)
                         in_pass.add(newly)
                     else:
-                        ready.add(newly)
+                        next_pass.add(newly)
+            ready = sorted(next_pass)
 
     def _advance(self, rank: int, state: _RankState) -> None:
-        """Drive one rank until it finishes or blocks on an empty receive."""
+        """Drive one rank until it finishes or blocks on an empty receive.
+
+        Ops dispatch on their exact class (the common case — the dataclasses
+        in :mod:`repro.simmpi.message`); subclasses take the isinstance
+        fallback so user-defined specializations keep working.
+        """
+        gen_send = state.gen.send
+        fast = self._fast
+        compute_s = self._compute_s
         while True:
             try:
-                value, state.pending_value = state.pending_value, None
-                op = state.gen.send(value) if value is not None else next(
-                    state.gen
-                )
+                op = gen_send(state.pending_value)
+                state.pending_value = None
             except StopIteration as stop:
                 state.done = True
                 state.result = stop.value
                 return
-            if isinstance(op, SendOp):
+            cls = op.__class__
+            if cls is ComputeOp and fast:
+                state.clock += op.seconds
+                compute_s[rank] += op.seconds
+            elif cls is SendOp:
+                self._do_send(rank, state, op)
+            elif cls is RecvOp:
+                if not self._try_recv(rank, state, op):
+                    state.blocked = op
+                    self._waiting_src[rank] = op.source
+                    return
+            elif cls is ComputeOp:
+                self._do_compute(rank, state, op)
+            elif cls is MarkOp:
+                self._do_mark(rank, state, op)
+            elif isinstance(op, SendOp):
                 self._do_send(rank, state, op)
             elif isinstance(op, RecvOp):
                 if not self._try_recv(rank, state, op):
                     state.blocked = op
-                    self._waiters[(op.source, rank)] = rank
+                    self._waiting_src[rank] = op.source
                     return
             elif isinstance(op, ComputeOp):
                 self._do_compute(rank, state, op)

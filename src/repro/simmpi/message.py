@@ -12,8 +12,6 @@ import dataclasses
 import pickle
 from typing import Any
 
-import numpy as np
-
 __all__ = [
     "payload_nbytes",
     "Bytes",
@@ -42,19 +40,22 @@ PHASE_END = "phase_end:"
 
 
 def payload_nbytes(payload: Any) -> int:
-    """Wire size of a payload: numpy arrays count their buffer, ``Bytes``
-    sentinels their declared size, everything else its pickled size (the
-    mpi4py lower-case-method convention)."""
-    if isinstance(payload, Bytes):
-        return payload.nbytes
-    if isinstance(payload, np.ndarray):
-        return payload.nbytes
+    """Wire size of a payload.
+
+    Anything exposing an integer ``nbytes`` attribute — numpy arrays,
+    :class:`Bytes` sentinels, the executor's structural payload wrappers —
+    declares its own size; raw byte buffers count their length; everything
+    else falls back to its pickled size (the mpi4py lower-case-method
+    convention)."""
+    nbytes = getattr(payload, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
     if isinstance(payload, (bytes, bytearray, memoryview)):
         return len(payload)
     return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Bytes:
     """A payload-free message body of a declared size — used by *modeled
     mode* executors that track time and volume without moving data."""
@@ -66,9 +67,13 @@ class Bytes:
             raise ValueError("nbytes must be >= 0")
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(slots=True)
 class Message:
-    """An in-flight or delivered message."""
+    """An in-flight or delivered message.
+
+    Not frozen — the engine allocates one per send on its hottest path and
+    a frozen dataclass pays ``object.__setattr__`` per field — but treated
+    as immutable everywhere after construction."""
 
     source: int
     dest: int
@@ -79,7 +84,7 @@ class Message:
     arrives_at: float
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class SendOp:
     """Buffered (eager) send: charges sender CPU overhead and schedules the
     arrival; never blocks the sender.
@@ -94,7 +99,7 @@ class SendOp:
     tag: int = 0
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class RecvOp:
     """Blocking receive matched by (source, tag) in FIFO order.  ``tag`` may
     be :data:`ANY_TAG` to match the earliest message from ``source``."""
@@ -103,7 +108,7 @@ class RecvOp:
     tag: int = 0
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class ComputeOp:
     """Advance the local clock by a modeled compute duration (seconds)."""
 
@@ -115,7 +120,7 @@ class ComputeOp:
             raise ValueError("compute duration must be >= 0")
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class MarkOp:
     """Trace marker (phase boundaries etc.); costs nothing."""
 

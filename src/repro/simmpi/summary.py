@@ -27,6 +27,10 @@ class RunSummary:
     message_count: int
     total_bytes: int
     compute_seconds: float
+    #: aggregate send/recv CPU seconds and blocked-waiting seconds across
+    #: ranks; 0.0 for summaries deserialized from pre-v2 documents
+    comm_seconds: float = 0.0
+    blocked_seconds: float = 0.0
 
     @classmethod
     def from_result(cls, result: RunResult) -> "RunSummary":
@@ -39,6 +43,8 @@ class RunSummary:
             message_count=result.message_count,
             total_bytes=result.total_bytes,
             compute_seconds=result.trace.compute_seconds,
+            comm_seconds=sum(result.comm_by_rank or ()),
+            blocked_seconds=sum(result.blocked_by_rank or ()),
         )
 
     def to_dict(self) -> dict:
@@ -51,6 +57,8 @@ class RunSummary:
             "message_count": self.message_count,
             "total_bytes": self.total_bytes,
             "compute_seconds": self.compute_seconds,
+            "comm_seconds": self.comm_seconds,
+            "blocked_seconds": self.blocked_seconds,
         }
 
     @classmethod
@@ -62,4 +70,6 @@ class RunSummary:
             message_count=int(doc["message_count"]),
             total_bytes=int(doc["total_bytes"]),
             compute_seconds=float(doc["compute_seconds"]),
+            comm_seconds=float(doc.get("comm_seconds", 0.0)),
+            blocked_seconds=float(doc.get("blocked_seconds", 0.0)),
         )

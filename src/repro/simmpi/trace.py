@@ -8,7 +8,7 @@ from collections import defaultdict
 __all__ = ["TraceEvent", "Trace", "RunResult"]
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One timeline entry: ``kind`` in {'send', 'recv', 'compute', 'mark'}.
 
@@ -67,6 +67,11 @@ class RunResult:
     clocks: tuple[float, ...]          # final virtual clock per rank
     returns: tuple[object, ...]        # generator return values per rank
     trace: Trace
+    #: per-rank second totals, maintained by the engine even when no events
+    #: are recorded (None only for results built by older call sites)
+    compute_by_rank: tuple[float, ...] | None = None
+    comm_by_rank: tuple[float, ...] | None = None
+    blocked_by_rank: tuple[float, ...] | None = None
 
     @property
     def makespan(self) -> float:
@@ -82,8 +87,16 @@ class RunResult:
         return self.trace.total_bytes
 
     def busy_seconds(self) -> tuple[float, ...]:
-        """Per-rank time spent in compute + message endpoints (needs a
-        trace recorded with ``enabled=True``)."""
+        """Per-rank time spent in compute + message endpoints.
+
+        Uses the engine-maintained per-rank totals when present (recv event
+        spans already exclude the wait for arrival, so busy time is exactly
+        compute + comm seconds); otherwise falls back to summing event
+        spans, which needs a trace recorded with ``enabled=True``."""
+        if self.compute_by_rank is not None and self.comm_by_rank is not None:
+            return tuple(
+                c + m for c, m in zip(self.compute_by_rank, self.comm_by_rank)
+            )
         busy: dict[int, float] = defaultdict(float)
         for e in self.trace.events:
             if e.kind in ("compute", "send", "recv"):

@@ -14,10 +14,22 @@ The executor runs any :mod:`repro.sweep.ops` schedule and returns both the
 reassembled global array (verified against the sequential reference in the
 tests) and the simulator's :class:`RunResult` (virtual time, message and
 byte counts).
+
+**Skeleton mode** (``payload="skeleton"``, or :meth:`MultipartExecutor
+.run_skeleton` directly) replays exactly the same rank programs — identical
+op sequence, message counts, tags, byte counts, phases, and therefore
+virtual clocks/makespan, pinned bit-for-bit by ``tests/sweep/
+test_skeleton.py`` — but sends only declared byte counts
+(:class:`~repro.simmpi.message.Bytes`) and derives per-slab compute times
+from tile geometry instead of touching numpy data.  No scatter, scan, or
+gather happens, which is what lets class-A/B (64^3 / 102^3) problems at
+p <= 64 simulate in seconds: the paper's Table 1 claims are about
+communication structure and timing, none of which needs the payload data.
 """
 
 from __future__ import annotations
 
+from math import prod
 from typing import Generator
 
 import numpy as np
@@ -26,6 +38,8 @@ from repro.core.mapping import Multipartitioning
 from repro.simmpi.comm import Comm
 from repro.simmpi.engine import run_programs
 from repro.simmpi.machine import MachineModel
+from repro.simmpi.message import Bytes
+from repro.simmpi.trace import RunResult
 
 from .ops import (
     BinaryPointwiseOp,
@@ -40,12 +54,45 @@ from .tiles import TileGrid
 
 __all__ = ["MultipartExecutor"]
 
+#: distributed blocks are always float64 (scatter casts on entry)
+_ITEMSIZE = 8
+
 
 def _tile_linear_index(tile: tuple[int, ...], gammas: tuple[int, ...]) -> int:
     idx = 0
     for t, g in zip(tile, gammas):
         idx = idx * g + t
     return idx
+
+
+class _CarryPayload:
+    """Aggregated sweep carries: tile coords + their boundary planes.
+
+    Declares a *structural* wire size — the plane buffers only, matching
+    what an MPI implementation would put on the wire for the vectorized
+    carry message (coords are tiny metadata) and what skeleton mode can
+    recompute from tile geometry alone."""
+
+    __slots__ = ("coords", "planes", "nbytes")
+
+    def __init__(self, coords, planes):
+        self.coords = coords
+        self.planes = planes
+        self.nbytes = sum(p.nbytes for p in planes)
+
+
+class _FacePayload:
+    """Aggregated stencil halo faces: (dest tile, face array) pairs, with
+    the same structural wire-size convention as :class:`_CarryPayload`."""
+
+    __slots__ = ("items", "nbytes")
+
+    def __init__(self, items):
+        self.items = items
+        self.nbytes = sum(face.nbytes for _, face in items)
+
+    def __iter__(self):
+        return iter(self.items)
 
 
 class MultipartExecutor:
@@ -59,15 +106,21 @@ class MultipartExecutor:
         aggregate: bool = True,
         record_events: bool = False,
         sinks: tuple = (),
+        payload: str = "data",
     ):
         if len(shape) != partitioning.ndim:
             raise ValueError("array rank must match partitioning rank")
+        if payload not in ("data", "skeleton"):
+            raise ValueError(
+                f"payload must be 'data' or 'skeleton', got {payload!r}"
+            )
         self.partitioning = partitioning
         self.grid = TileGrid(tuple(shape), partitioning.gammas)
         self.machine = machine
         self.aggregate = aggregate
         self.record_events = record_events
         self.sinks = tuple(sinks)
+        self.payload = payload
         # ops' phase annotations / marks only matter when someone observes
         # them: the in-memory trace or a streaming sink
         self._emit_marks = record_events or bool(self.sinks)
@@ -80,7 +133,12 @@ class MultipartExecutor:
 
         ``arrays`` is a single numpy array (ops default to array "u"; a
         single array comes back) or a dict of aligned same-shape arrays.
+
+        In skeleton mode the data (if any) is ignored entirely and the
+        result array is ``None`` — see :meth:`run_skeleton`.
         """
+        if self.payload == "skeleton":
+            return None, self.run_skeleton(schedule)
         single = not isinstance(arrays, dict)
         named = {"u": arrays} if single else arrays
         mp = self.partitioning
@@ -109,6 +167,25 @@ class MultipartExecutor:
             for name in named
         }
         return (out["u"] if single else out), result
+
+    def run_skeleton(self, schedule) -> "RunResult":
+        """Execute ``schedule`` payload-free and return the
+        :class:`~repro.simmpi.trace.RunResult` only.
+
+        The rank programs yield the identical op sequence as :meth:`run` —
+        same sends (by tag and byte count), receives, compute durations and
+        phase marks — so clocks, makespan, message counts, and byte totals
+        match real-data mode bit-for-bit; only the array contents are
+        absent."""
+        mp = self.partitioning
+        programs = [
+            self._skeleton_program(Comm(rank, mp.nprocs), schedule)
+            for rank in range(mp.nprocs)
+        ]
+        return run_programs(
+            self.machine, programs, record_events=self.record_events,
+            sinks=self.sinks,
+        )
 
     # -- rank program -----------------------------------------------------------
 
@@ -306,7 +383,7 @@ class MultipartExecutor:
                     )
                 if outgoing:
                     yield from comm.send(
-                        outgoing,
+                        _FacePayload(outgoing),
                         dest_rank,
                         tag_base + 10 * axis + (0 if step == 1 else 1),
                     )
@@ -385,12 +462,11 @@ class MultipartExecutor:
                 "outgoing carries with no neighbor rank (gamma==1?)"
             )
         if self.aggregate:
-            # one vectorized message: (coords tuple, stacked planes) — the
-            # planes dominate the byte count, coords are tiny metadata.
+            # one vectorized message carrying every tile's boundary plane
             items = sorted(outgoing.items())
             coords = tuple(t for t, _ in items)
             planes = [p for _, p in items]
-            yield from comm.send((coords, planes), dest, tag)
+            yield from comm.send(_CarryPayload(coords, planes), dest, tag)
         else:
             for tile in sorted(outgoing):
                 yield from comm.send(
@@ -407,11 +483,188 @@ class MultipartExecutor:
                 "expecting carries but no neighbor rank (gamma==1?)"
             )
         if self.aggregate:
-            coords, planes = yield from comm.recv(source, tag)
-            return dict(zip(coords, planes))
+            payload = yield from comm.recv(source, tag)
+            return dict(zip(payload.coords, payload.planes))
         carries = {}
         for tile in sorted(my_tiles):
             carries[tile] = yield from comm.recv(
                 source, tag * 1_000_000 + _tile_linear_index(tile, self.grid.gammas)
             )
         return carries
+
+    # -- skeleton (payload-free) rank program --------------------------------
+    #
+    # Mirrors `_rank_program` op for op: every branch below must yield the
+    # same sends (tag + byte count), receives, compute durations, and marks
+    # as its real-data twin above, with all quantities derived from tile
+    # geometry.  The equivalence tests compare the two modes bit-for-bit;
+    # any edit to the real program needs the matching edit here.
+
+    def _tile_points(self, tile: tuple[int, ...]) -> int:
+        return prod(self.grid.tile_shape(tile))
+
+    def _plane_nbytes(self, tile, axis: int, width: int = 1) -> int:
+        """Wire size of ``width`` boundary planes of ``tile`` normal to
+        ``axis`` — the shape of a sweep carry / stencil face."""
+        shape = self.grid.tile_shape(tile)
+        return _ITEMSIZE * width * prod(shape) // shape[axis]
+
+    def _skeleton_program(self, comm: Comm, schedule) -> Generator:
+        mp = self.partitioning
+        my_tiles = sorted(mp.tiles_of(comm.rank))
+        ntiles = len(my_tiles)
+        all_points = sum(self._tile_points(t) for t in my_tiles)
+        open_phase: str | None = None
+        for op_index, op in enumerate(schedule):
+            if self._emit_marks:
+                phase = getattr(op, "phase", None)
+                if phase != open_phase:
+                    if open_phase is not None:
+                        yield from comm.phase_end(open_phase)
+                    if phase is not None:
+                        yield from comm.phase_begin(phase)
+                    open_phase = phase
+                yield from comm.mark(f"op{op_index}:{op.label()}")
+            if isinstance(op, (SweepOp, BlockSweepOp)):
+                yield from self._skeleton_sweep(comm, op, op_index)
+            elif isinstance(op, StencilOp):
+                yield from self._skeleton_stencil(comm, op, op_index)
+            elif isinstance(
+                op, (BinaryPointwiseOp, CopyOp, PointwiseOp)
+            ):
+                yield from comm.compute(
+                    self.machine.compute_time(
+                        all_points, op.flops_per_point, tiles=ntiles
+                    ),
+                    points=all_points,
+                )
+            else:
+                raise TypeError(f"unsupported op {op!r}")
+        if self._emit_marks and open_phase is not None:
+            yield from comm.phase_end(open_phase)
+        return comm.rank
+
+    def _skeleton_sweep(self, comm: Comm, op, op_index: int) -> Generator:
+        mp = self.partitioning
+        axis = op.axis % self.grid.ndim
+        gamma = mp.gammas[axis]
+        send_dir = -1 if op.reverse else +1
+        nbr_send = mp.neighbor_rank(comm.rank, axis, send_dir)
+        nbr_recv = mp.neighbor_rank(comm.rank, axis, -send_dir)
+        slab_order = list(mp.slabs(axis, reverse=op.reverse))
+        tag_base = (op_index + 1) * 100_000
+
+        for phase, slab in enumerate(slab_order):
+            if self._emit_marks:
+                yield from comm.phase_begin(f"p{phase}")
+            my_tiles = mp.tiles_of_in_slab(comm.rank, axis, slab)
+            if phase > 0:
+                yield from self._skeleton_recv_carries(
+                    comm, nbr_recv, my_tiles, tag_base + phase
+                )
+            # outgoing carries keyed by downstream tile, one boundary plane
+            # each — same shapes the real scan would return
+            outgoing: dict[tuple[int, ...], int] = {}
+            points = 0
+            for tile in my_tiles:
+                points += self._tile_points(tile)
+                dest = list(tile)
+                dest[axis] += send_dir
+                if 0 <= dest[axis] < gamma:
+                    outgoing[tuple(dest)] = self._plane_nbytes(tile, axis)
+            yield from comm.compute(
+                self.machine.compute_time(
+                    points, op.flops_per_point, tiles=len(my_tiles)
+                ),
+                points=points,
+            )
+            if phase < len(slab_order) - 1 and outgoing:
+                yield from self._skeleton_send_carries(
+                    comm, nbr_send, outgoing, tag_base + phase + 1
+                )
+            if self._emit_marks:
+                yield from comm.phase_end(f"p{phase}")
+
+    def _skeleton_send_carries(
+        self, comm: Comm, dest: int, outgoing: dict, tag: int
+    ) -> Generator:
+        if dest < 0:
+            raise AssertionError(
+                "outgoing carries with no neighbor rank (gamma==1?)"
+            )
+        if self.aggregate:
+            yield from comm.send(Bytes(sum(outgoing.values())), dest, tag)
+        else:
+            for tile in sorted(outgoing):
+                yield from comm.send(
+                    Bytes(outgoing[tile]),
+                    dest,
+                    tag * 1_000_000 + _tile_linear_index(tile, self.grid.gammas),
+                )
+
+    def _skeleton_recv_carries(
+        self, comm: Comm, source: int, my_tiles, tag: int
+    ) -> Generator:
+        if source < 0:
+            raise AssertionError(
+                "expecting carries but no neighbor rank (gamma==1?)"
+            )
+        if self.aggregate:
+            yield from comm.recv(source, tag)
+            return
+        for tile in sorted(my_tiles):
+            yield from comm.recv(
+                source, tag * 1_000_000 + _tile_linear_index(tile, self.grid.gammas)
+            )
+
+    def _skeleton_stencil(
+        self, comm: Comm, op: StencilOp, op_index: int
+    ) -> Generator:
+        mp = self.partitioning
+        ndim = self.grid.ndim
+        reach = op.pad_widths(ndim)
+        tag_base = (op_index + 1) * 100_000 + 50_000
+        my_tiles = mp.tiles_of(comm.rank)
+
+        # sends: one aggregated face message per (axis, side) with a
+        # downstream neighbor — the byte count the real faces would total
+        for axis in range(ndim):
+            for step, width in ((+1, reach[axis][0]), (-1, reach[axis][1])):
+                if width == 0 or mp.gammas[axis] == 1:
+                    continue
+                dest_rank = mp.neighbor_rank(comm.rank, axis, step)
+                nbytes = sum(
+                    self._plane_nbytes(tile, axis, width)
+                    for tile in my_tiles
+                    if 0 <= tile[axis] + step < mp.gammas[axis]
+                )
+                if nbytes:
+                    yield from comm.send(
+                        Bytes(nbytes),
+                        dest_rank,
+                        tag_base + 10 * axis + (0 if step == 1 else 1),
+                    )
+
+        # receives: same "expecting" guard as the real exchange
+        for axis in range(ndim):
+            for step, width in ((+1, reach[axis][0]), (-1, reach[axis][1])):
+                if width == 0 or mp.gammas[axis] == 1:
+                    continue
+                src_rank = mp.neighbor_rank(comm.rank, axis, -step)
+                expecting = any(
+                    0 <= t[axis] - step < mp.gammas[axis] for t in my_tiles
+                )
+                if not expecting:
+                    continue
+                yield from comm.recv(
+                    src_rank,
+                    tag_base + 10 * axis + (0 if step == 1 else 1),
+                )
+
+        points = sum(self._tile_points(t) for t in my_tiles)
+        yield from comm.compute(
+            self.machine.compute_time(
+                points, op.flops_per_point, tiles=len(my_tiles)
+            ),
+            points=points,
+        )

@@ -85,9 +85,16 @@ def sequential_time(
     shape: tuple[int, ...], schedule, machine: MachineModel
 ) -> float:
     """Modeled single-processor execution time of a schedule: pure compute,
-    no communication (the denominator of every speedup in Table 1)."""
+    no communication (the denominator of every speedup in Table 1).
+
+    Each op is charged ``tiles=1`` — the one processor's single block pays
+    the same per-tile kernel overhead a distributed run pays per tile visit.
+    This keeps the baseline consistent with the simulator: a p=1 simulated
+    run executes the identical op sequence on one tile, so its speedup is
+    exactly 1.0 instead of the sub-unity artifact an overhead-free baseline
+    produced (see EXPERIMENTS.md, "Reproducing Table 1 at scale")."""
     points = float(np.prod(shape))
     total = 0.0
     for op in schedule:
-        total += machine.compute_time(points, ops=op.flops_per_point)
+        total += machine.compute_time(points, ops=op.flops_per_point, tiles=1)
     return total

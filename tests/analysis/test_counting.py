@@ -47,3 +47,70 @@ class TestCounts:
         }
         for p, c in counts.items():
             assert c < p  # exponentially far below any polynomial blow-up
+
+
+class TestScheduleCommTotals:
+    """Hand-computed closed forms; the skeleton simulation cross-check
+    lives in tests/sweep/test_skeleton.py."""
+
+    def _partitioning(self, p, shape):
+        from repro.core.api import plan_multipartitioning
+        from repro.core.cost import CostModel
+
+        return plan_multipartitioning(shape, p, CostModel()).partitioning
+
+    def test_sweep_totals_by_hand(self):
+        from repro.analysis.counting import schedule_comm_totals
+        from repro.sweep.ops import SweepOp
+
+        shape = (12, 12, 12)
+        part = self._partitioning(6, shape)  # gammas (3, 6, 2), 6 ranks
+        assert part.gammas == (3, 6, 2)
+        schedule = [SweepOp(axis=0)]
+        messages, nbytes = schedule_comm_totals(shape, part, schedule)
+        # gamma_0 = 3: two phase transitions, one aggregated message per
+        # rank each, each transition moving one 12x12 boundary plane total
+        assert messages == (3 - 1) * 6
+        assert nbytes == (3 - 1) * 8 * 12 * 12
+
+    def test_aggregation_off_counts_tiles(self):
+        from repro.analysis.counting import schedule_comm_totals
+        from repro.sweep.ops import SweepOp
+
+        shape = (12, 12, 12)
+        part = self._partitioning(6, shape)  # gammas (3, 6, 2)
+        schedule = [SweepOp(axis=1)]  # gamma = 6, 3*2 tiles per slab
+        messages, nbytes = schedule_comm_totals(
+            shape, part, schedule, aggregate=False
+        )
+        assert messages == (6 - 1) * (3 * 2)
+        assert nbytes == (6 - 1) * 8 * 12 * 12  # bytes unchanged
+
+    def test_stencil_totals_by_hand(self):
+        from repro.analysis.counting import schedule_comm_totals
+        from repro.sweep.ops import StencilOp
+
+        shape = (12, 12, 12)
+        part = self._partitioning(4, shape)  # gammas (2, 2, 2)
+        assert part.gammas == (2, 2, 2)
+        op = StencilOp(
+            fn=lambda padded: padded[1:-1],
+            reach=((1, 1), (0, 0), (0, 0)),
+        )
+        messages, nbytes = schedule_comm_totals(shape, part, [op])
+        # axis 0, both sides: all 4 ranks send one aggregated face message;
+        # (gamma-1) interior boundaries each ship one width-1 face plane
+        assert messages == 2 * 4
+        assert nbytes == 2 * (2 - 1) * 1 * 8 * 12 * 12
+
+    def test_unsplit_axis_is_free(self):
+        from repro.analysis.counting import schedule_comm_totals
+        from repro.sweep.ops import SweepOp
+
+        shape = (16, 16, 16)
+        part = self._partitioning(2, shape)  # gammas (1, 2, 2)
+        assert part.gammas[0] == 1
+        messages, nbytes = schedule_comm_totals(
+            shape, part, [SweepOp(axis=0)]
+        )
+        assert (messages, nbytes) == (0, 0)

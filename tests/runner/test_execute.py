@@ -147,3 +147,31 @@ class TestSeedSensitivity:
             ExperimentSpec(shape=(8, 8, 8), p=2, mode="simulated", seed=1)
         )
         assert json.dumps(a) == json.dumps(again)
+
+
+class TestSkeletonMode:
+    @pytest.mark.parametrize("app", ["sp", "bt", "adi"])
+    def test_matches_simulated_timing(self, app):
+        """run_spec in skeleton mode reproduces the simulated-mode summary
+        and speedup exactly — just without data verification."""
+        skel = run_spec(
+            ExperimentSpec(shape=(8, 8, 8), p=4, mode="skeleton", app=app)
+        )
+        sim = run_spec(
+            ExperimentSpec(shape=(8, 8, 8), p=4, mode="simulated", app=app)
+        )
+        assert skel["summary"] == sim["summary"]
+        assert skel["speedup"] == sim["speedup"]
+        assert "max_abs_error" not in skel
+
+    def test_result_is_json_pure(self):
+        result = run_spec(
+            ExperimentSpec(shape=(8, 8, 8), p=2, mode="skeleton")
+        )
+        assert json.loads(json.dumps(result)) == result
+
+    def test_p1_speedup_is_exactly_one(self):
+        result = run_spec(
+            ExperimentSpec(shape=(8, 8, 8), p=1, mode="skeleton")
+        )
+        assert result["speedup"] == pytest.approx(1.0, rel=1e-12)

@@ -1,0 +1,117 @@
+"""The null-emit fast path must be an *observability* switch, not a
+semantics switch.
+
+With ``record_events=False`` and no sinks the engine skips TraceEvent
+construction entirely, but every number that feeds results — virtual
+clocks, makespan, message/byte counters, per-rank compute/comm/blocked
+seconds — must come out bit-identical to a fully traced run."""
+
+import pytest
+
+from repro.simmpi.engine import Engine
+from repro.simmpi.machine import MachineModel, ethernet_cluster, origin2000
+from repro.simmpi.message import ANY_TAG, Bytes, ComputeOp, RecvOp, SendOp
+from repro.simmpi.summary import RunSummary
+
+
+def _ring(n, iters, nbytes=800):
+    def prog(rank):
+        nxt, prv = (rank + 1) % n, (rank - 1) % n
+        for i in range(iters):
+            yield ComputeOp(1e-6 * (rank + 1))
+            yield SendOp(nxt, Bytes(nbytes), tag=i)
+            yield RecvOp(prv, tag=i)
+    return [prog(r) for r in range(n)]
+
+
+def _staggered(n):
+    """Irregular pattern: rank 0 fans out, then collects replies in reverse
+    arrival order via ANY_TAG — exercises the arrival-deque matching path
+    and blocked-time tracking."""
+    def root():
+        for r in range(1, n):
+            yield SendOp(r, Bytes(64 * r), tag=r)
+        for r in range(n - 1, 0, -1):
+            yield RecvOp(r, tag=ANY_TAG)
+
+    def leaf(rank):
+        yield RecvOp(0, tag=rank)
+        yield ComputeOp(1e-5 * rank)
+        yield SendOp(0, Bytes(32), tag=100 + rank)
+
+    return [root()] + [leaf(r) for r in range(1, n)]
+
+
+def _run(programs_factory, machine, record_events):
+    engine = Engine(machine, len(programs_factory()),
+                    record_events=record_events)
+    return engine.run(programs_factory())
+
+
+@pytest.mark.parametrize("machine_factory", [
+    MachineModel, origin2000, ethernet_cluster,
+])
+@pytest.mark.parametrize("programs", [
+    lambda: _ring(4, 50),
+    lambda: _ring(6, 20, nbytes=12_000),
+    lambda: _staggered(5),
+])
+def test_fast_path_matches_traced(machine_factory, programs):
+    machine = machine_factory()
+    traced = _run(programs, machine, record_events=True)
+    fast = _run(programs, machine, record_events=False)
+    assert fast.clocks == traced.clocks
+    assert fast.makespan == traced.makespan
+    assert fast.message_count == traced.message_count
+    assert fast.total_bytes == traced.total_bytes
+    assert fast.compute_by_rank == traced.compute_by_rank
+    assert fast.comm_by_rank == traced.comm_by_rank
+    assert fast.blocked_by_rank == traced.blocked_by_rank
+    assert RunSummary.from_result(fast) == RunSummary.from_result(traced)
+
+
+def test_fast_path_skips_event_construction():
+    fast = _run(lambda: _ring(4, 10), MachineModel(), record_events=False)
+    traced = _run(lambda: _ring(4, 10), MachineModel(), record_events=True)
+    assert fast.trace.events == []
+    assert len(traced.trace.events) > 0
+
+
+def test_sink_disables_fast_path_even_untraced():
+    """A sink needs the events, so attaching one must keep emission on even
+    with record_events=False."""
+    class Collector:
+        def __init__(self):
+            self.events = []
+
+        def on_event(self, event):
+            self.events.append(event)
+
+    sink = Collector()
+    engine = Engine(MachineModel(), 4, record_events=False, sinks=[sink])
+    engine.run(_ring(4, 5))
+    assert sink.events  # events flowed to the sink
+    assert engine.trace.events == []  # but were not retained in memory
+
+
+def test_clock_decomposes_into_activity_totals():
+    """Per rank: virtual clock == compute + comm + blocked seconds, exactly.
+    Recv spans charge waiting to blocked and only the cpu cost to comm, so
+    the three buckets tile the timeline with no gaps or overlaps."""
+    for factory in (lambda: _ring(5, 30), lambda: _staggered(6)):
+        res = _run(factory, origin2000(), record_events=False)
+        for rank, clock in enumerate(res.clocks):
+            total = (res.compute_by_rank[rank]
+                     + res.comm_by_rank[rank]
+                     + res.blocked_by_rank[rank])
+            assert total == pytest.approx(clock, rel=1e-12, abs=1e-15)
+
+
+def test_summary_comm_and_blocked_fields():
+    res = _run(lambda: _staggered(5), origin2000(), record_events=False)
+    summary = RunSummary.from_result(res)
+    assert summary.comm_seconds == pytest.approx(sum(res.comm_by_rank))
+    assert summary.blocked_seconds == pytest.approx(
+        sum(res.blocked_by_rank)
+    )
+    assert summary.blocked_seconds > 0  # leaves wait on the root

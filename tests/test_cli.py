@@ -65,6 +65,18 @@ class TestTables:
         assert "5x10x10" in out
         assert "# CPUs" in out
 
+    def test_table1_skeleton_mode(self, capsys):
+        out = run_cli(
+            capsys, "table1", "--class", "A", "--mode", "skeleton",
+            "--max-p", "9",
+        )
+        assert "skeleton" in out  # title reflects the mode
+        assert "# CPUs" in out
+        # --max-p trims the processor-count rows
+        assert "3x3x3" in out and "4x4x4" not in out
+        # p=1 skeleton speedup normalizes to exactly 1.00 (hand column)
+        assert "1.00" in out
+
     def test_figure1(self, capsys):
         out = run_cli(capsys, "figure1")
         assert "layer k=0" in out
@@ -218,11 +230,27 @@ class TestSweep:
         )
         doc1 = json.loads(run_cli(capsys, *args, "--jobs", "1"))
         doc2 = json.loads(run_cli(capsys, *args, "--jobs", "2"))
-        assert doc1["schema"] == "repro.sweep-result.v1"
+        assert doc1["schema"] == "repro.sweep-result.v2"
         assert json.dumps(doc1["results"]) == json.dumps(doc2["results"])
         assert doc1["stats"]["metrics"]["counters"]["sweep.specs"][
             "total"
         ] == 3
+
+    def test_skeleton_mode_matches_simulated_timing(self, capsys):
+        import json
+
+        def doc(mode):
+            return json.loads(run_cli(
+                capsys, "sweep", "--shapes", "8x8x8", "--nprocs", "2,4",
+                "--mode", mode, "--no-cache", "--json",
+            ))
+
+        skel, sim = doc("skeleton"), doc("simulated")
+        assert skel["schema"] == "repro.sweep-result.v2"
+        for s, m in zip(skel["results"], sim["results"]):
+            assert s["summary"] == m["summary"]
+            assert s["speedup"] == m["speedup"]
+            assert "max_abs_error" not in s
 
     def test_grid_file(self, capsys, tmp_path):
         import json
