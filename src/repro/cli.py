@@ -148,6 +148,26 @@ def build_parser() -> argparse.ArgumentParser:
         "+ final run_end record)",
     )
 
+    check = sub.add_parser(
+        "check",
+        help="statically verify a configuration without running it: "
+        "send/recv matching, deadlock, message races, and the paper's "
+        "validity/balance/neighbor proofs",
+    )
+    check.add_argument("--app", default="sp", choices=["sp", "bt", "adi"])
+    check.add_argument("--shape", type=_shape, required=True)
+    check.add_argument("-p", "--nprocs", type=int, required=True)
+    check.add_argument("--steps", type=int, default=1)
+    check.add_argument("--no-aggregate", action="store_true",
+                       help="verify the per-tile (unaggregated) message "
+                       "schedule instead of the aggregated one")
+    check.add_argument("--partitioner", default="optimal",
+                       choices=["optimal", "diagonal"])
+    check.add_argument("--stencil-rhs", action="store_true",
+                       help="include SP's stencil RHS exchange phases")
+    check.add_argument("--json", action="store_true",
+                       help="emit the full repro.verify-report.v1 document")
+
     sweep = sub.add_parser(
         "sweep",
         help="run a batch experiment grid through the parallel runner with "
@@ -179,6 +199,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result cache directory (default .repro-cache)")
     sweep.add_argument("--json", action="store_true",
                        help="emit results + stats as a JSON document")
+    sweep.add_argument("--verify", action="store_true",
+                       help="statically verify each configuration before "
+                       "running it; violations become structured errors")
 
     return parser
 
@@ -222,7 +245,9 @@ def _run_sweep(args, out) -> int:
     specs = expand_grid(doc)
     registry = MetricsRegistry()
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    runner = BatchRunner(cache=cache, jobs=args.jobs, metrics=registry)
+    runner = BatchRunner(
+        cache=cache, jobs=args.jobs, metrics=registry, verify=args.verify
+    )
     results = runner.run(specs)
     stats = runner.last_stats
     failed = any("error" in r for r in results)
@@ -541,6 +566,27 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
             print(format_profile(profile), file=out)
         return 0
+
+    if args.command == "check":
+        import json
+
+        from repro.verify import verify_config
+
+        report = verify_config(
+            args.app,
+            args.shape,
+            args.nprocs,
+            steps=args.steps,
+            aggregate=not args.no_aggregate,
+            partitioner=args.partitioner,
+            stencil_rhs=args.stencil_rhs,
+        )
+        if args.json:
+            json.dump(report.to_dict(), out, indent=2)
+            out.write("\n")
+        else:
+            print(report.summary(), file=out)
+        return 0 if report.ok else 1
 
     if args.command == "sweep":
         return _run_sweep(args, out)

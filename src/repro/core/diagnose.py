@@ -28,8 +28,8 @@ class MappingDiagnosis:
     neighbor: bool
     #: first offending (axis, slab) for balance, else None
     unbalanced_slab: tuple[int, int] | None
-    #: first offending (rank, axis, step, owners...) for neighbor, else None
-    neighbor_conflict: tuple | None
+    #: first offending (rank, axis, step, sorted owners) for neighbor, else None
+    neighbor_conflict: tuple[int, int, int, tuple[int, ...]] | None
 
     @property
     def is_multipartitioning(self) -> bool:
@@ -82,7 +82,7 @@ def diagnose_mapping(owner: np.ndarray, nprocs: int) -> MappingDiagnosis:
             break
 
     neighbor = True
-    conflict: tuple | None = None
+    conflict: tuple[int, int, int, tuple[int, ...]] | None = None
     for axis in range(owner.ndim):
         for step in (+1, -1):
             owners_of: dict[int, set[int]] = {}
@@ -95,7 +95,7 @@ def diagnose_mapping(owner: np.ndarray, nprocs: int) -> MappingDiagnosis:
             for q, nbrs in owners_of.items():
                 if len(nbrs) > 1:
                     neighbor = False
-                    conflict = (q, axis, step, tuple(nbrs))
+                    conflict = (q, axis, step, tuple(sorted(nbrs)))
                     break
             if not neighbor:
                 break

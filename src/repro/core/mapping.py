@@ -35,6 +35,13 @@ class Multipartitioning:
 
     owner: np.ndarray
     nprocs: int
+    #: derived caches, filled in __post_init__ via object.__setattr__
+    _neighbors: dict[tuple[int, int], np.ndarray] = dataclasses.field(
+        init=False, repr=False, compare=False
+    )
+    _tiles_by_rank: tuple[tuple[tuple[int, ...], ...], ...] = (
+        dataclasses.field(init=False, repr=False, compare=False)
+    )
 
     def __post_init__(self) -> None:
         owner = np.ascontiguousarray(self.owner, dtype=np.int64)

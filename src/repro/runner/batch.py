@@ -63,12 +63,16 @@ class BatchRunner:
         cache: ResultCache | None = None,
         jobs: int = 1,
         metrics=None,
+        verify: bool = False,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.cache = cache
         self.jobs = jobs
         self.metrics = metrics
+        #: statically verify each spec before executing it (pre-flight);
+        #: violations come back as never-cached {"error": ...} results
+        self.verify = verify
         self.last_stats = BatchStats()
         #: per-spec provenance of the last run: "hit" | "miss" | "dup"
         self.last_sources: list[str] = []
@@ -133,10 +137,13 @@ class BatchRunner:
         if not specs:
             return []
         if self.jobs <= 1 or len(specs) == 1:
-            out = [_guarded_run(spec) for spec in specs]
+            out = [_guarded_run(spec, self.verify) for spec in specs]
         else:
             with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                futures = [pool.submit(run_spec, spec) for spec in specs]
+                futures = [
+                    pool.submit(run_spec, spec, self.verify)
+                    for spec in specs
+                ]
                 out = []
                 for spec, future in zip(specs, futures):
                     try:
@@ -169,9 +176,9 @@ def _canonical(doc: dict) -> dict:
     return json.loads(json.dumps(doc, sort_keys=True))
 
 
-def _guarded_run(spec: ExperimentSpec) -> dict:
+def _guarded_run(spec: ExperimentSpec, verify: bool = False) -> dict:
     try:
-        return run_spec(spec)
+        return run_spec(spec, verify)
     except Exception as exc:
         return _error_result(spec, exc)
 

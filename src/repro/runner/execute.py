@@ -115,13 +115,58 @@ def _plan_for(spec: ExperimentSpec, cost_model):
     )
 
 
-def run_spec(spec: ExperimentSpec) -> dict:
-    """Execute one experiment and return its JSON-serializable result."""
+def _verify_spec(spec: ExperimentSpec, problem, field_shape, partitioning):
+    """Static pre-flight over the exact configuration this spec will run:
+    communication analyses on the extracted rank-program IR plus the
+    paper-invariant proof pass.  Returns a VerifyReport."""
+    from repro.sweep.multipart import MultipartExecutor
+    from repro.verify import (
+        VerifyReport,
+        check_invariants,
+        extract_program_ir,
+        verify_ir,
+    )
+
+    machine = resolve_machine(spec)
+    executor = MultipartExecutor(
+        partitioning,
+        field_shape,
+        machine,
+        record_events=True,
+        payload="skeleton",
+    )
+    invariants, certificate = check_invariants(partitioning)
+    ir = extract_program_ir(executor, problem.schedule())
+    matching, deadlock, races = verify_ir(ir)
+    return VerifyReport(
+        config={"spec": spec.to_canonical()},
+        analyses=(matching, deadlock, races, invariants),
+        certificate=certificate,
+    )
+
+
+def run_spec(spec: ExperimentSpec, verify: bool = False) -> dict:
+    """Execute one experiment and return its JSON-serializable result.
+
+    With ``verify=True`` the spec's exact configuration is statically
+    verified first (:mod:`repro.verify`); violations short-circuit into a
+    structured ``{"error": ...}`` result carrying the full report — which
+    the batch runner never caches, so the cache schema is unaffected.
+    """
     cost_model = resolve_cost_model(spec)
     problem, field_shape = _problem_for(spec)
     partitioning, gammas, cost, examined, compact = _plan_for(
         spec, cost_model
     )
+    if verify:
+        report = _verify_spec(spec, problem, field_shape, partitioning)
+        if not report.ok:
+            return {
+                "schema": SCHEMA_TAG,
+                "spec": spec.to_canonical(),
+                "error": f"verification failed: {report.summary()}",
+                "verify": report.to_dict(),
+            }
     result: dict = {
         "schema": SCHEMA_TAG,
         "spec": spec.to_canonical(),

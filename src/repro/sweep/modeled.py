@@ -18,7 +18,7 @@ from repro.core.cost import NetworkScaling
 from repro.core.mapping import Multipartitioning
 from repro.simmpi.machine import MachineModel
 
-from .ops import BlockSweepOp, PointwiseOp, StencilOp
+from .ops import PointwiseOp, StencilOp
 
 
 def _stencil_halo_time(

@@ -187,6 +187,20 @@ class MultipartExecutor:
             sinks=self.sinks,
         )
 
+    def skeleton_rank_program(self, rank: int, schedule) -> Generator:
+        """One rank's payload-free program as a fresh generator.
+
+        Public entry point for the static verifier
+        (:mod:`repro.verify`): the returned generator yields the identical
+        op sequence the engine would interpret for ``rank`` — same sends
+        (dest, tag, declared bytes), receives, compute charges and phase
+        marks — but can be drained *without* the engine because none of
+        its control flow depends on received payloads (see
+        :func:`repro.simmpi.program.record_ops`).
+        """
+        mp = self.partitioning
+        return self._skeleton_program(Comm(rank, mp.nprocs), schedule)
+
     # -- rank program -----------------------------------------------------------
 
     def _rank_program(

@@ -1,0 +1,235 @@
+"""The rank-program IR: a side-effect-free view of what every rank does.
+
+The IR is a tuple of per-rank op sequences.  Each op is a small frozen
+record carrying its own coordinates — ``(rank, index)`` — plus the fields
+the analyses need (peer, tag, declared byte count, phase annotation), and
+nothing else: no payloads, no numpy arrays, no generators.  Analyses over
+the IR therefore cannot mutate simulator state, and extracting the IR
+cannot run any computation of the underlying schedule.
+
+Extraction drains each rank's *skeleton* program
+(:meth:`repro.sweep.multipart.MultipartExecutor.skeleton_rank_program`)
+independently through :func:`repro.simmpi.program.record_ops` — the
+skeleton contract (control flow depends only on tile geometry) is what
+makes per-rank, engine-free extraction sound.  The equivalence of skeleton
+and real-data programs is pinned by ``tests/sweep/test_skeleton.py``, so
+verdicts about the IR transfer to the real execution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterator, Union
+
+from repro.simmpi.message import (
+    ANY_TAG,
+    ComputeOp,
+    MarkOp,
+    RecvOp,
+    SendOp,
+    payload_nbytes,
+)
+from repro.simmpi.program import record_ops
+
+__all__ = [
+    "IRSend",
+    "IRRecv",
+    "IRCompute",
+    "IRMark",
+    "IROp",
+    "ProgramIR",
+    "extract_program_ir",
+]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class IRSend:
+    """An eager (never-blocking) send of ``nbytes`` to ``(dest, tag)``."""
+
+    rank: int
+    index: int
+    dest: int
+    tag: int
+    nbytes: int
+    phase: str = ""
+
+    def witness(self) -> dict:
+        return {
+            "kind": "send",
+            "rank": self.rank,
+            "op_index": self.index,
+            "dest": self.dest,
+            "tag": self.tag,
+            "nbytes": self.nbytes,
+            "phase": self.phase,
+        }
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class IRRecv:
+    """A blocking receive from ``(source, tag)``; ``tag`` may be ANY_TAG."""
+
+    rank: int
+    index: int
+    source: int
+    tag: int
+    phase: str = ""
+
+    def witness(self) -> dict:
+        return {
+            "kind": "recv",
+            "rank": self.rank,
+            "op_index": self.index,
+            "source": self.source,
+            "tag": "ANY" if self.tag == ANY_TAG else self.tag,
+            "phase": self.phase,
+        }
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class IRCompute:
+    """A local compute charge (kept for completeness; analyses skip it)."""
+
+    rank: int
+    index: int
+    seconds: float
+    phase: str = ""
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class IRMark:
+    """A trace marker (op labels; phase begin/end already folded into the
+    per-op ``phase`` field during extraction)."""
+
+    rank: int
+    index: int
+    label: str
+    phase: str = ""
+
+
+IROp = Union[IRSend, IRRecv, IRCompute, IRMark]
+
+
+@dataclasses.dataclass(frozen=True)
+class ProgramIR:
+    """The complete program: one op tuple per rank."""
+
+    nprocs: int
+    ranks: tuple[tuple[IROp, ...], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.ranks) != self.nprocs:
+            raise ValueError(
+                f"expected {self.nprocs} rank op lists, got {len(self.ranks)}"
+            )
+
+    def sends(self) -> Iterator[IRSend]:
+        for ops in self.ranks:
+            for op in ops:
+                if isinstance(op, IRSend):
+                    yield op
+
+    def recvs(self) -> Iterator[IRRecv]:
+        for ops in self.ranks:
+            for op in ops:
+                if isinstance(op, IRRecv):
+                    yield op
+
+    @property
+    def total_ops(self) -> int:
+        return sum(len(ops) for ops in self.ranks)
+
+    @property
+    def total_sends(self) -> int:
+        return sum(1 for _ in self.sends())
+
+    @property
+    def total_send_bytes(self) -> int:
+        return sum(s.nbytes for s in self.sends())
+
+    def replace_rank(self, rank: int, ops: tuple[IROp, ...]) -> "ProgramIR":
+        """A copy with one rank's op sequence substituted — the mutation
+        hook the self-test harness uses."""
+        ranks = list(self.ranks)
+        ranks[rank] = tuple(ops)
+        return ProgramIR(self.nprocs, tuple(ranks))
+
+
+#: extraction budget per rank; generous (paper-scale programs are ~1e4 ops)
+_MAX_OPS_PER_RANK = 5_000_000
+
+#: phase-span mark prefixes (mirrors repro.simmpi.message)
+_PHASE_BEGIN = "phase_begin:"
+_PHASE_END = "phase_end:"
+
+
+def _lower_rank(rank: int, raw_ops: list) -> tuple[IROp, ...]:
+    """Lower primitive ops to IR records, folding phase-span marks into a
+    per-op ``phase`` path (mirroring the engine's attribution rule: the
+    innermost open phase wins)."""
+    out: list[IROp] = []
+    stack: list[str] = []
+    path = ""
+    for op in raw_ops:
+        index = len(out)
+        if isinstance(op, MarkOp):
+            label = op.label
+            if label.startswith(_PHASE_BEGIN):
+                stack.append(label[len(_PHASE_BEGIN):])
+                path = "/".join(stack)
+                continue
+            if label.startswith(_PHASE_END):
+                name = label[len(_PHASE_END):]
+                if not stack or stack[-1] != name:
+                    raise ValueError(
+                        f"rank {rank}: phase_end({name!r}) does not match "
+                        f"the open phase stack {stack!r}"
+                    )
+                stack.pop()
+                path = "/".join(stack)
+                continue
+            out.append(IRMark(rank, index, label, path))
+        elif isinstance(op, SendOp):
+            out.append(
+                IRSend(
+                    rank,
+                    index,
+                    op.dest,
+                    op.tag,
+                    payload_nbytes(op.payload),
+                    path,
+                )
+            )
+        elif isinstance(op, RecvOp):
+            out.append(IRRecv(rank, index, op.source, op.tag, path))
+        elif isinstance(op, ComputeOp):
+            out.append(IRCompute(rank, index, op.seconds, path))
+        else:  # pragma: no cover - record_ops already validates
+            raise TypeError(f"unsupported primitive op {op!r}")
+    if stack:
+        raise ValueError(f"rank {rank}: unclosed phase span(s) {stack!r}")
+    return tuple(out)
+
+
+def extract_program_ir(executor: Any, schedule: Any) -> ProgramIR:
+    """Extract the :class:`ProgramIR` of ``schedule`` on ``executor``.
+
+    ``executor`` is a :class:`repro.sweep.multipart.MultipartExecutor`;
+    every rank's skeleton program is drained independently (no engine, no
+    payload data).  Phase marks are only produced when the executor was
+    constructed with mark emission enabled (``record_events=True`` or any
+    sink attached); the IR is structurally identical either way — phases
+    just stay empty strings otherwise.
+    """
+    nprocs = executor.partitioning.nprocs
+    ranks = tuple(
+        _lower_rank(
+            rank,
+            record_ops(
+                executor.skeleton_rank_program(rank, schedule),
+                max_ops=_MAX_OPS_PER_RANK,
+            ),
+        )
+        for rank in range(nprocs)
+    )
+    return ProgramIR(nprocs, ranks)

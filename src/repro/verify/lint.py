@@ -1,0 +1,425 @@
+"""Determinism lint for the repro codebase.
+
+A custom AST pass enforcing the repo's reproducibility rules — the ones
+the batch runner's bitwise-determinism guarantee and the simulator's
+virtual-time model rest on:
+
+* **VR101 — unordered set iteration.**  Iterating (or sequencing —
+  ``list``/``tuple``/``join``/...) a ``set`` lets hash order leak into
+  emitted results.  Flagged for syntactic set expressions *and* for names
+  the pass can locally infer to be sets (assigned from a set expression,
+  annotated ``set[...]``, or unpacked from ``.items()`` of a dict
+  annotated with set values).  Order-insensitive consumers (``sorted``,
+  ``len``, ``min``, ``max``, ``sum``, ``any``, ``all``, membership) are
+  fine.
+* **VR102 — unseeded randomness.**  Module-level ``random.*`` calls and
+  legacy ``np.random.*`` draw from hidden global state; only explicitly
+  seeded generators (``random.Random(seed)``, ``np.random.default_rng
+  (seed)``) are allowed.
+* **VR103 — wall clock in simulator cost paths.**  ``time.time`` /
+  ``perf_counter`` / ``monotonic`` and friends inside :mod:`repro.simmpi`
+  would couple virtual time to host load.  Scoped to files whose path
+  contains a ``simmpi`` component (the runner legitimately measures wall
+  time).
+
+Run as a module over one or more files/directories::
+
+    python -m repro.verify.lint src/
+
+Exit status is 1 when any finding is reported.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["Finding", "lint_source", "lint_paths", "main"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One lint finding."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+#: builtins that consume an iterable order-insensitively
+_ORDER_SAFE_CONSUMERS = frozenset(
+    {"sorted", "len", "min", "max", "sum", "any", "all", "set", "frozenset",
+     "bool", "print"}
+)
+#: builtins/methods that preserve (hash) order into a sequence
+_ORDER_LEAKING_CONSUMERS = frozenset(
+    {"list", "tuple", "iter", "enumerate", "reversed", "next", "zip", "map",
+     "filter"}
+)
+#: random-module entry points that are fine (explicit state/seeding)
+_RANDOM_OK = frozenset({"seed", "Random", "SystemRandom", "getstate",
+                        "setstate"})
+#: numpy.random entry points that are fine when called with a seed
+_NP_RANDOM_OK = frozenset({"default_rng", "Generator", "SeedSequence",
+                           "PCG64", "Philox", "SFC64", "MT19937"})
+#: wall-clock callables per module
+_WALL_CLOCK = {
+    "time": frozenset({"time", "time_ns", "perf_counter", "perf_counter_ns",
+                       "monotonic", "monotonic_ns", "process_time",
+                       "process_time_ns"}),
+    "datetime": frozenset({"now", "utcnow", "today"}),
+}
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Syntactically a set value?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _is_set_annotation(node: ast.AST | None) -> bool:
+    """Annotation names a set type (``set[int]``, ``Set[str]``, ...)?"""
+    if node is None:
+        return False
+    if isinstance(node, ast.Subscript):
+        return _is_set_annotation(node.value)
+    if isinstance(node, ast.Name):
+        return node.id in ("set", "frozenset", "Set", "FrozenSet",
+                           "AbstractSet", "MutableSet")
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("Set", "FrozenSet", "AbstractSet", "MutableSet")
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            return _is_set_annotation(ast.parse(node.value, mode="eval").body)
+        except SyntaxError:
+            return False
+    return False
+
+
+def _dict_set_values_annotation(node: ast.AST | None) -> bool:
+    """Annotation is a dict whose *values* are sets
+    (``dict[K, set[V]]``)?"""
+    if node is None:
+        return False
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return False
+    if not isinstance(node, ast.Subscript):
+        return False
+    base = node.value
+    base_name = (
+        base.id if isinstance(base, ast.Name)
+        else base.attr if isinstance(base, ast.Attribute)
+        else None
+    )
+    if base_name not in ("dict", "Dict", "defaultdict", "DefaultDict",
+                         "Mapping", "MutableMapping"):
+        return False
+    sl = node.slice
+    if isinstance(sl, ast.Tuple) and len(sl.elts) == 2:
+        return _is_set_annotation(sl.elts[1])
+    return False
+
+
+class _FunctionScope:
+    """Tracks names locally inferred to be set- or set-valued-dict-typed."""
+
+    def __init__(self) -> None:
+        self.set_names: set[str] = set()
+        self.dict_of_sets: set[str] = set()
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, in_simmpi: bool):
+        self.path = path
+        self.in_simmpi = in_simmpi
+        self.findings: list[Finding] = []
+        self.scopes: list[_FunctionScope] = [_FunctionScope()]
+
+    # -- helpers ------------------------------------------------------------
+
+    def _report(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                code=code,
+                message=message,
+            )
+        )
+
+    def _scope(self) -> _FunctionScope:
+        return self.scopes[-1]
+
+    def _is_set_like(self, node: ast.AST) -> bool:
+        if _is_set_expr(node):
+            return True
+        if isinstance(node, ast.Name):
+            return any(node.id in s.set_names for s in self.scopes)
+        # d.setdefault(k, set()) / d.get(k, set()) return a set
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("setdefault", "get")
+            and len(node.args) == 2
+            and _is_set_expr(node.args[1])
+        ):
+            return True
+        # binary set algebra on a known set (s | t, s & t, ...)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_like(node.left) or self._is_set_like(
+                node.right
+            )
+        return False
+
+    def _flag_iteration(self, iter_node: ast.AST, where: str) -> None:
+        if self._is_set_like(iter_node):
+            self._report(
+                iter_node,
+                "VR101",
+                f"iteration over a set in {where} leaks hash order into "
+                "results; sort it first (sorted(...)) or use an ordered "
+                "container",
+            )
+
+    # -- scope bookkeeping ---------------------------------------------------
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        scope = _FunctionScope()
+        for arg in list(node.args.args) + list(node.args.kwonlyargs):
+            if _is_set_annotation(arg.annotation):
+                scope.set_names.add(arg.arg)
+            elif _dict_set_values_annotation(arg.annotation):
+                scope.dict_of_sets.add(arg.arg)
+        self.scopes.append(scope)
+        self.generic_visit(node)
+        self.scopes.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_set_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._scope().set_names.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            if _is_set_annotation(node.annotation):
+                self._scope().set_names.add(node.target.id)
+            elif _dict_set_values_annotation(node.annotation):
+                self._scope().dict_of_sets.add(node.target.id)
+        self.generic_visit(node)
+
+    # -- VR101: set iteration -------------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        self._flag_iteration(node.iter, "a for loop")
+        self._track_items_unpack(node.target, node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._flag_iteration(node.iter, "an async for loop")
+        self.generic_visit(node)
+
+    def _visit_comp(
+        self,
+        node: ast.ListComp | ast.GeneratorExp | ast.DictComp,
+        what: str,
+    ) -> None:
+        for gen in node.generators:
+            self._flag_iteration(gen.iter, what)
+            self._track_items_unpack(gen.target, gen.iter)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comp(node, "a list comprehension")
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comp(node, "a generator expression")
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comp(node, "a dict comprehension")
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # building a set from a set is fine — order is lost anyway
+        self.generic_visit(node)
+
+    def _track_items_unpack(self, target: ast.AST, iter_node: ast.AST) -> None:
+        """``for k, v in d.items()`` with ``d: dict[K, set[V]]`` → v is a
+        set."""
+        if not (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Attribute)
+            and iter_node.func.attr in ("items", "values")
+            and isinstance(iter_node.func.value, ast.Name)
+            and any(
+                iter_node.func.value.id in s.dict_of_sets
+                for s in self.scopes
+            )
+        ):
+            return
+        if iter_node.func.attr == "values" and isinstance(target, ast.Name):
+            self._scope().set_names.add(target.id)
+        elif (
+            iter_node.func.attr == "items"
+            and isinstance(target, ast.Tuple)
+            and len(target.elts) == 2
+            and isinstance(target.elts[1], ast.Name)
+        ):
+            self._scope().set_names.add(target.elts[1].id)
+
+    # -- calls: VR101 consumers, VR102, VR103 ---------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # VR101: order-leaking conversion of a set
+        if (
+            isinstance(func, ast.Name)
+            and func.id in _ORDER_LEAKING_CONSUMERS
+            and node.args
+            and self._is_set_like(node.args[0])
+        ):
+            self._report(
+                node,
+                "VR101",
+                f"{func.id}() over a set leaks hash order into a "
+                "sequence; wrap it in sorted(...)",
+            )
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "join"
+            and node.args
+            and self._is_set_like(node.args[0])
+        ):
+            self._report(
+                node,
+                "VR101",
+                "str.join over a set leaks hash order into a string; "
+                "wrap it in sorted(...)",
+            )
+        # VR102: unseeded randomness
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            mod, attr = func.value.id, func.attr
+            if mod == "random" and attr not in _RANDOM_OK:
+                self._report(
+                    node,
+                    "VR102",
+                    f"random.{attr}() draws from hidden global state; use "
+                    "an explicitly seeded random.Random(seed)",
+                )
+            if mod == "random" and attr == "Random" and not node.args:
+                self._report(
+                    node, "VR102", "random.Random() without a seed"
+                )
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in ("np", "numpy")
+            and func.value.attr == "random"
+            and func.attr not in _NP_RANDOM_OK
+        ):
+            self._report(
+                node,
+                "VR102",
+                f"np.random.{func.attr}() uses the legacy global "
+                "generator; use np.random.default_rng(seed)",
+            )
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in ("np", "numpy")
+            and func.value.attr == "random"
+            and func.attr == "default_rng"
+            and not node.args
+            and not node.keywords
+        ):
+            self._report(
+                node, "VR102", "np.random.default_rng() without a seed"
+            )
+        # VR103: wall clock inside simmpi
+        if (
+            self.in_simmpi
+            and isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in _WALL_CLOCK
+            and func.attr in _WALL_CLOCK[func.value.id]
+        ):
+            self._report(
+                node,
+                "VR103",
+                f"{func.value.id}.{func.attr}() is wall-clock time inside "
+                "a simulator cost path; all simmpi time must be virtual",
+            )
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one module's source text."""
+    in_simmpi = "simmpi" in Path(path).parts
+    tree = ast.parse(source, filename=path)
+    linter = _Linter(path, in_simmpi)
+    linter.visit(tree)
+    return sorted(
+        linter.findings, key=lambda f: (f.path, f.line, f.col, f.code)
+    )
+
+
+def _iter_py_files(paths: Sequence[str | Path]) -> Iterable[Path]:
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        else:
+            yield p
+
+
+def lint_paths(paths: Sequence[str | Path]) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    findings: list[Finding] = []
+    for file in _iter_py_files(paths):
+        findings.extend(lint_source(file.read_text(), str(file)))
+    return findings
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        print("usage: python -m repro.verify.lint PATH [PATH ...]",
+              file=sys.stderr)
+        return 2
+    findings = lint_paths(args)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -44,6 +44,21 @@ class TestDiagnoseInvalid:
             rank, axis, step, owners = d.neighbor_conflict
             assert len(owners) > 1
 
+    def test_neighbor_conflict_owners_deterministic(self):
+        """The conflict witness must not leak set hash order.
+
+        Owners 8 and 0 collide in a small set's hash table, so iteration
+        order follows *insertion* order (8 first here) — a raw ``tuple(...)``
+        of the owner set would emit (8, 0) and could flip under different
+        insertion histories.  The witness is pinned to sorted order.
+        """
+        owner = np.array([[1, 8], [1, 0]], dtype=np.int64)
+        d = diagnose_mapping(owner, 9)
+        assert not d.neighbor
+        rank, axis, step, owners = d.neighbor_conflict
+        assert (rank, axis, step) == (1, 1, 1)
+        assert owners == (0, 8)  # sorted, not insertion/hash order
+
     def test_balanced_but_neighbor_broken(self):
         """A *non-linear* latin square is perfectly balanced (every row and
         column a permutation) yet violates the neighbor property — exactly

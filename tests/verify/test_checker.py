@@ -1,0 +1,97 @@
+"""End-to-end verification of the standard configuration grid, report
+shape, and the runner's verify pre-flight."""
+
+import json
+
+import pytest
+
+from repro.runner import ExperimentSpec
+from repro.runner.execute import run_spec
+from repro.verify import SCHEMA, verify_config
+
+
+class TestStandardGrid:
+    @pytest.mark.parametrize("app", ["sp", "bt", "adi"])
+    @pytest.mark.parametrize("p", [2, 4, 6, 9])
+    @pytest.mark.parametrize("aggregate", [True, False])
+    def test_grid_verifies_clean(self, app, p, aggregate):
+        report = verify_config(app, (8, 8, 8), p, aggregate=aggregate)
+        assert report.ok, report.summary()
+        names = [a.name for a in report.analyses]
+        assert names == ["matching", "deadlock", "races", "invariants"]
+        assert report.certificate is not None and report.certificate["ok"]
+
+    @pytest.mark.parametrize("app", ["sp", "bt", "adi"])
+    def test_larger_shape(self, app):
+        assert verify_config(app, (12, 12, 12), 6).ok
+
+    def test_diagonal_partitioner(self):
+        report = verify_config("adi", (8, 8, 8), 9, partitioner="diagonal")
+        assert report.ok
+
+    def test_stencil_rhs_flow(self):
+        assert verify_config("sp", (8, 8, 8), 4, stencil_rhs=True).ok
+
+    def test_multi_step(self):
+        assert verify_config("adi", (8, 8, 8), 4, steps=2).ok
+
+
+class TestReportDocument:
+    def test_schema_and_round_trip(self):
+        report = verify_config("sp", (8, 8, 8), 4)
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert doc["schema"] == SCHEMA == "repro.verify-report.v1"
+        assert doc["ok"] is True
+        assert set(doc["analyses"]) == {
+            "matching", "deadlock", "races", "invariants",
+        }
+        cfg = doc["config"]
+        assert cfg["app"] == "sp" and cfg["p"] == 4
+        assert cfg["gammas"] == [2, 2, 2]
+        ir = cfg["ir"]
+        assert ir["ranks"] == 4 and ir["messages"] > 0 and ir["bytes"] > 0
+        cert = doc["certificate"]
+        assert cert["schema"] == "repro.mapping-certificate.v1"
+        assert cert["ok"] and "matrix" in cert and "moduli" in cert
+
+    def test_stats_are_populated(self):
+        report = verify_config("sp", (8, 8, 8), 4)
+        by_name = {a.name: a for a in report.analyses}
+        assert by_name["matching"].stats["sends"] > 0
+        assert by_name["races"].stats["channels"] > 0
+        assert by_name["invariants"].stats["tiles"] == 8
+
+    def test_unplannable_config_reported_not_raised(self):
+        report = verify_config(
+            "adi", (8, 8, 8), 7, partitioner="diagonal"
+        )
+        assert not report.ok
+        v = report.violations()[0]
+        assert v.kind == "unplannable"
+        assert "FAILED" in report.summary()
+        json.dumps(report.to_dict())
+
+    def test_unknown_app_reported(self):
+        report = verify_config("lu", (8, 8, 8), 4)
+        assert not report.ok
+        assert report.violations()[0].kind == "unplannable"
+
+
+class TestRunnerPreFlight:
+    def test_run_spec_verify_clean_result_unchanged(self):
+        spec = ExperimentSpec(
+            app="sp", shape=(8, 8, 8), p=4, mode="plan"
+        )
+        plain = run_spec(spec)
+        verified = run_spec(spec, verify=True)
+        # a clean pre-flight leaves the result (and cache schema) untouched
+        assert verified == plain
+        assert "verify" not in verified
+
+    def test_run_spec_verify_modeled_mode(self):
+        spec = ExperimentSpec(
+            app="adi", shape=(8, 8, 8), p=2, mode="modeled"
+        )
+        result = run_spec(spec, verify=True)
+        assert "error" not in result
+        assert result["modeled_time"] > 0

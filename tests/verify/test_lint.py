@@ -1,0 +1,147 @@
+"""The determinism lint: rule coverage on snippets + the repo itself."""
+
+import textwrap
+from pathlib import Path
+
+from repro.verify.lint import Finding, lint_paths, lint_source, main
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def codes(source, path="<string>"):
+    return [f.code for f in lint_source(textwrap.dedent(source), path)]
+
+
+class TestVR101SetIteration:
+    def test_for_over_set_literal(self):
+        assert codes("for x in {1, 2}:\n    print(x)\n") == ["VR101"]
+
+    def test_for_over_set_call(self):
+        assert codes("for x in set(items):\n    emit(x)\n") == ["VR101"]
+
+    def test_list_conversion_of_set(self):
+        assert codes("out = list({1, 2})\n") == ["VR101"]
+
+    def test_tuple_of_inferred_set_variable(self):
+        src = """
+        s = set()
+        s.add(1)
+        out = tuple(s)
+        """
+        assert codes(src) == ["VR101"]
+
+    def test_annotated_set_argument(self):
+        src = """
+        def f(owners: set[int]):
+            return [x for x in owners]
+        """
+        assert codes(src) == ["VR101"]
+
+    def test_dict_of_sets_items_unpack(self):
+        # the exact shape that hid in core/diagnose.py
+        src = """
+        def f():
+            owners_of: dict[int, set[int]] = {}
+            for q, nbrs in owners_of.items():
+                return (q, tuple(nbrs))
+        """
+        assert codes(src) == ["VR101"]
+
+    def test_set_algebra_result(self):
+        src = """
+        a = set(); b = set()
+        for x in a | b:
+            emit(x)
+        """
+        assert codes(src) == ["VR101"]
+
+    def test_sorted_is_allowed(self):
+        assert codes("out = sorted({3, 1, 2})\n") == []
+        assert codes("for x in sorted(set(items)):\n    emit(x)\n") == []
+
+    def test_order_insensitive_consumers_allowed(self):
+        src = """
+        s = {1, 2, 3}
+        n = len(s)
+        m = max(s)
+        total = sum(s)
+        hit = 2 in s
+        """
+        assert codes(src) == []
+
+    def test_join_over_set_flagged(self):
+        assert codes("txt = ','.join({'a', 'b'})\n") == ["VR101"]
+
+    def test_set_comp_from_set_allowed(self):
+        # order is re-lost immediately; nothing leaks
+        assert codes("t = {x + 1 for x in {1, 2}}\n") == []
+
+
+class TestVR102Randomness:
+    def test_global_random_flagged(self):
+        assert codes("x = random.random()\n") == ["VR102"]
+        assert codes("random.shuffle(xs)\n") == ["VR102"]
+
+    def test_seeded_generator_allowed(self):
+        assert codes("rng = random.Random(7)\nx = rng.random()\n") == []
+        assert codes("random.seed(0)\n") == []
+
+    def test_legacy_numpy_random_flagged(self):
+        assert codes("x = np.random.rand(3)\n") == ["VR102"]
+        assert codes("x = numpy.random.randint(10)\n") == ["VR102"]
+
+    def test_default_rng_with_seed_allowed(self):
+        assert codes("rng = np.random.default_rng(2002)\n") == []
+
+    def test_default_rng_unseeded_flagged(self):
+        assert codes("rng = np.random.default_rng()\n") == ["VR102"]
+
+
+class TestVR103WallClock:
+    def test_wall_clock_flagged_inside_simmpi(self):
+        src = "t = time.perf_counter()\n"
+        assert codes(src, "src/repro/simmpi/engine.py") == ["VR103"]
+        assert codes("t = time.time()\n", "src/repro/simmpi/x.py") == [
+            "VR103"
+        ]
+
+    def test_wall_clock_allowed_outside_simmpi(self):
+        assert codes("t = time.perf_counter()\n", "src/repro/runner/b.py") \
+            == []
+
+    def test_virtual_time_unaffected(self):
+        src = "clock = engine.now()\n"
+        assert codes(src, "src/repro/simmpi/engine.py") == []
+
+
+class TestHarness:
+    def test_finding_renders_path_line_code(self):
+        f = Finding("a.py", 3, 7, "VR101", "msg")
+        assert str(f) == "a.py:3:7: VR101 msg"
+
+    def test_findings_sorted_by_location(self):
+        src = "for x in {1}:\n    y = list({2})\n"
+        found = lint_source(src, "z.py")
+        assert [f.line for f in found] == sorted(f.line for f in found)
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = sorted({1, 2})\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("x = list({1, 2})\n")
+        assert main([str(clean)]) == 0
+        assert main([str(dirty)]) == 1
+        assert "VR101" in capsys.readouterr().out
+        assert main([]) == 2
+
+    def test_directory_recursion(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text("for x in {1}:\n    pass\n")
+        assert [f.code for f in lint_paths([tmp_path])] == ["VR101"]
+
+
+class TestRepositoryIsClean:
+    def test_src_tree_has_no_findings(self):
+        findings = lint_paths([SRC])
+        assert findings == [], "\n".join(str(f) for f in findings)

@@ -1,0 +1,65 @@
+"""Property-based check of the certificate pipeline: every valid
+(shape-free) partitioning vector the enumerator produces must certify
+balance + neighbor on the concrete ``modular_mapping`` owner table, and a
+perturbed assignment must be rejected with a witness."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.elementary import elementary_partitionings_unordered
+from repro.core.modmap import build_modular_mapping
+from repro.verify import check_invariants
+
+#: (p, d) pool kept small enough for per-example brute-force certification
+_CASES = [
+    (gammas, p)
+    for p in (2, 3, 4, 6, 8, 9, 12)
+    for d in (2, 3)
+    for gammas in elementary_partitionings_unordered(p, d)
+]
+
+
+@st.composite
+def valid_configs(draw):
+    gammas, p = draw(st.sampled_from(_CASES))
+    # any permutation of a valid vector is valid: exercise the construction
+    # beyond the enumerator's canonical sorted order
+    perm = draw(st.permutations(range(len(gammas))))
+    return tuple(gammas[i] for i in perm), p
+
+
+@given(valid_configs())
+@settings(max_examples=60, deadline=None)
+def test_construction_always_certifies(config):
+    gammas, p = config
+    cert = build_modular_mapping(gammas, p).certificate(gammas)
+    assert cert["ok"], cert
+    assert cert["validity"]["ok"]
+    assert cert["balance"]["ok"] and "witness" not in cert["balance"]
+    assert cert["neighbor"]["ok"]
+    # successor tables cover every rank in every signed direction
+    assert all(
+        len(succ) == p for succ in cert["neighbor"]["successors"].values()
+    )
+
+
+@given(valid_configs(), st.randoms(use_true_random=False))
+@settings(max_examples=60, deadline=None)
+def test_perturbed_assignment_rejected(config, rng):
+    gammas, p = config
+    grid = build_modular_mapping(gammas, p).rank_grid(gammas).copy()
+    tiles = list(np.ndindex(*grid.shape))
+    a = tiles[rng.randrange(len(tiles))]
+    others = [t for t in tiles if grid[t] != grid[a]]
+    if not others:  # p == 1-like degenerate corner: nothing to swap
+        return
+    b = others[rng.randrange(len(others))]
+    grid[a], grid[b] = grid[b], grid[a]
+    # swapping two tiles with different owners always unbalances the slab
+    # counts along every axis where the tiles' coordinates differ
+    result, cert = check_invariants(grid, p=p)
+    assert not result.ok
+    kinds = {v.kind for v in result.violations}
+    assert kinds & {"balance", "neighbor", "equally-many-to-one"}
+    assert not cert["ok"]
