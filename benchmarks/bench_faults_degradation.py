@@ -1,0 +1,66 @@
+"""Degradation under faults: makespan vs drop rate for SP 12^3 p=9.
+
+Each point is a full reliable-protocol skeleton run under a seeded
+:class:`~repro.faults.plan.FaultPlan`; the zero-rate point pins the
+fault-free baseline exactly, so the artifact doubles as a regression check
+on the zero-cost claim.  Writes ``BENCH_faults.json`` at the repo root.
+"""
+
+import json
+import pathlib
+
+from repro.analysis.report import format_table
+from repro.faults import degradation_curve
+
+_FAULTS_JSON = pathlib.Path(__file__).parent.parent / "BENCH_faults.json"
+
+_APP, _SHAPE, _P = "sp", (12, 12, 12), 9
+_DROP_RATES = (0.0, 0.02, 0.05, 0.1, 0.2)
+_SEED = 2002
+
+
+def test_faults_degradation(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    curve = degradation_curve(
+        _APP, _SHAPE, _P, drop_rates=_DROP_RATES, seed=_SEED
+    )
+
+    doc = {
+        "bench": "faults_degradation",
+        "workload": f"{_APP} {'x'.join(map(str, _SHAPE))} p={_P} "
+        f"skeleton, seed {_SEED}",
+        "curve": curve,
+    }
+    with _FAULTS_JSON.open("w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+    rows = [
+        [
+            f"{pt['drop_rate']:.2f}",
+            f"{pt['makespan']:.6g}",
+            f"{pt['slowdown']:.3f}",
+            pt["fault_counts"]["dropped"],
+            pt["protocol"]["retransmits"],
+        ]
+        for pt in curve["points"]
+    ]
+    report(
+        f"Degradation under faults: {_APP} "
+        f"{'x'.join(map(str, _SHAPE))} p={_P} (drop-rate sweep)",
+        format_table(
+            ["drop rate", "makespan(s)", "slowdown", "dropped",
+             "retransmits"],
+            rows,
+        ),
+        data=doc,
+    )
+
+    # invariants the artifact must always witness
+    zero = curve["points"][0]
+    assert zero["drop_rate"] == 0.0
+    assert zero["makespan"] == curve["baseline_makespan"]
+    assert zero["slowdown"] == 1.0
+    worst = curve["points"][-1]
+    assert worst["slowdown"] > 1.0
+    assert worst["fault_counts"]["dropped"] > 0

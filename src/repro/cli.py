@@ -10,6 +10,7 @@ figure1   Regenerate the paper's Figure 1 (3-D diagonal mapping, p=16).
 drop      Processor-dropping search: fastest p' <= p (Conclusions).
 count     Elementary-partitioning counts vs the Figure-2 complexity bound.
 sweep     Batch experiment grid: parallel runner + persistent result cache.
+chaos     Fault-injection degradation report (curve, straggler, ranking).
 """
 
 from __future__ import annotations
@@ -93,7 +94,8 @@ def build_parser() -> argparse.ArgumentParser:
     loc.add_argument("-p", "--nprocs", type=int, required=True)
     loc.add_argument(
         "--topology", default="ring",
-        choices=["ring", "mesh2d", "hypercube", "full"],
+        choices=["ring", "mesh2d", "torus3d", "fattree", "hypercube",
+                 "full"],
     )
 
     sens = sub.add_parser(
@@ -115,6 +117,8 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("-p", "--nprocs", type=int, default=4)
     sim.add_argument("--steps", type=int, default=1)
     sim.add_argument("--width", type=int, default=64)
+    sim.add_argument("--seed", type=int, default=2002,
+                     help="seed for the random initial field")
 
     diag = sub.add_parser(
         "diagnose", help="check an owner-table file (npy) for the "
@@ -167,6 +171,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="include SP's stencil RHS exchange phases")
     check.add_argument("--json", action="store_true",
                        help="emit the full repro.verify-report.v1 document")
+    check.add_argument("--protocol", action="store_true",
+                       help="additionally model-check the reliable-delivery "
+                       "protocol: exhaustive proof that the ack/retransmit "
+                       "wrapper cannot deadlock under any drop pattern")
 
     sweep = sub.add_parser(
         "sweep",
@@ -202,6 +210,51 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--verify", action="store_true",
                        help="statically verify each configuration before "
                        "running it; violations become structured errors")
+    sweep.add_argument(
+        "--faults", metavar="JSON",
+        help="fault axis: JSON list of fault-field dicts crossed with the "
+        'grid, e.g. \'[{"drop_rate": 0.1}, {"straggler_rate": 0.2}]\' '
+        "(simulated/skeleton modes only)",
+    )
+    sweep.add_argument(
+        "--fault-drops", metavar="RATES",
+        help='shorthand for --faults: comma list of drop rates, e.g. '
+        '"0,0.05,0.1" (the reliable protocol switches on automatically '
+        "for rates > 0)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="deterministic fault-injection report: makespan-vs-drop-rate "
+        "degradation curve, straggler critical-path shift, and an "
+        "optional per-tiling resilience ranking",
+    )
+    chaos.add_argument("--app", default="sp", choices=["sp", "bt", "adi"])
+    chaos.add_argument("--shape", type=_shape, default=(12, 12, 12))
+    chaos.add_argument("-p", "--nprocs", type=int, default=9)
+    chaos.add_argument(
+        "--drops", type=str, default="0,0.02,0.05,0.1,0.2",
+        help="comma list of drop rates; keep 0 first — the zero-rate "
+        "point must reproduce the fault-free makespan exactly",
+    )
+    chaos.add_argument("--seed", type=int, default=2002,
+                       help="fault-plan seed (same seed => same faults)")
+    chaos.add_argument(
+        "--machine", default="origin2000",
+        choices=["origin2000", "ethernet_cluster", "bus"],
+    )
+    chaos.add_argument(
+        "--ranking-p", type=str, default="",
+        help='comma list of processor counts to rank by resilience, '
+        'e.g. "4,9,16"',
+    )
+    chaos.add_argument(
+        "--timeout", type=float, default=None,
+        help="protocol retransmit timeout in virtual seconds "
+        "(default: ProtocolConfig default)",
+    )
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the repro.chaos-report.v1 document")
 
     return parser
 
@@ -242,7 +295,25 @@ def _run_sweep(args, out) -> int:
             "steps": args.steps,
             "seed": args.seed,
         }
-    specs = expand_grid(doc)
+    faults_axis = []
+    if args.fault_drops:
+        faults_axis.extend(
+            {"drop_rate": float(r)}
+            for r in args.fault_drops.split(",")
+            if r.strip()
+        )
+    if args.faults:
+        parsed = json.loads(args.faults)
+        if isinstance(parsed, dict):
+            parsed = [parsed]
+        faults_axis.extend(parsed)
+    if faults_axis:
+        doc["faults"] = faults_axis
+    try:
+        specs = expand_grid(doc)
+    except ValueError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
     registry = MetricsRegistry()
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     runner = BatchRunner(
@@ -511,7 +582,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         plan = plan_multipartitioning(
             args.shape, args.nprocs, machine.to_cost_model()
         )
-        field = random_field(args.shape)
+        field = random_field(args.shape, seed=args.seed)
         result, run_res = MultipartExecutor(
             plan.partitioning, args.shape, machine, record_events=True
         ).run(field, prob.schedule())
@@ -580,6 +651,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             aggregate=not args.no_aggregate,
             partitioner=args.partitioner,
             stencil_rhs=args.stencil_rhs,
+            protocol=args.protocol,
         )
         if args.json:
             json.dump(report.to_dict(), out, indent=2)
@@ -590,6 +662,92 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "sweep":
         return _run_sweep(args, out)
+
+    if args.command == "chaos":
+        import json
+
+        from repro.analysis.report import format_table
+        from repro.faults import ProtocolConfig, chaos_report
+
+        drops = tuple(
+            float(r) for r in args.drops.split(",") if r.strip()
+        )
+        ranking_ps = tuple(
+            int(x) for x in args.ranking_p.split(",") if x.strip()
+        )
+        protocol = (
+            ProtocolConfig(timeout=args.timeout)
+            if args.timeout is not None
+            else None
+        )
+        doc = chaos_report(
+            args.app,
+            args.shape,
+            args.nprocs,
+            drop_rates=drops,
+            ranking_ps=ranking_ps,
+            seed=args.seed,
+            machine=args.machine,
+            protocol=protocol,
+        )
+        if args.json:
+            json.dump(doc, out, indent=2)
+            out.write("\n")
+            return 0
+
+        curve = doc["curve"]
+        shape = "x".join(map(str, args.shape))
+        rows = [
+            [
+                f"{pt['drop_rate']:.2f}",
+                f"{pt['makespan']:.6g}",
+                f"{pt['slowdown']:.3f}" if pt["slowdown"] else "-",
+                pt["fault_counts"].get("dropped", 0),
+                pt["protocol"].get("retransmits", 0),
+                pt["protocol"].get("duplicates_dropped", 0),
+            ]
+            for pt in curve["points"]
+        ]
+        print(
+            format_table(
+                ["drop rate", "makespan(s)", "slowdown", "dropped",
+                 "retransmits", "dups dropped"],
+                rows,
+                title=f"degradation: {args.app} {shape} on "
+                f"{args.nprocs} ranks (seed {args.seed})",
+            ),
+            file=out,
+        )
+        strag = doc["straggler"]
+        print(
+            f"straggler shift: ranks {strag['straggler_ranks']} slowed "
+            f"{strag['straggler_factor']}x -> slowdown "
+            f"{strag['slowdown']:.3f}, critical path "
+            f"{'moves through' if strag['path_through_straggler'] else 'avoids'}"
+            " the straggler",
+            file=out,
+        )
+        if "ranking" in doc:
+            rank_rows = [
+                [
+                    e["rank"],
+                    e["p"],
+                    "x".join(map(str, e["gammas"])),
+                    f"{e['slowdown']:.3f}",
+                    e["retransmits"],
+                ]
+                for e in doc["ranking"]["ranking"]
+            ]
+            print(
+                format_table(
+                    ["rank", "p", "tiling", "slowdown", "retransmits"],
+                    rank_rows,
+                    title=f"resilience ranking at drop rate "
+                    f"{doc['ranking']['drop_rate']}",
+                ),
+                file=out,
+            )
+        return 0
 
     if args.command == "diagnose":
         import numpy as np

@@ -1,0 +1,51 @@
+"""Deterministic fault injection and resilience analysis.
+
+The subsystem has four layers:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, the seeded, canonical-JSON
+  description of a fault schedule (schema ``repro.fault-plan.v1``);
+* :mod:`repro.faults.inject` — :class:`FaultInjector`, which compiles a
+  plan into the pure-hash decision hooks the simulator engine consults at
+  delivery time (drop / duplicate / jitter / slow links / stragglers /
+  pauses), entirely in virtual time and bit-reproducible;
+* :mod:`repro.faults.protocol` — :class:`ReliableComm`, the
+  ack/timeout/retransmit wrapper that lets rank programs complete correctly
+  under message loss (model-checked deadlock-free by
+  :mod:`repro.verify.protocol`);
+* :mod:`repro.faults.degradation` — makespan-vs-fault-rate curves,
+  per-tiling resilience ranking, and straggler critical-path analysis
+  (the ``repro chaos`` CLI payload).
+"""
+
+from .degradation import (
+    CHAOS_SCHEMA,
+    chaos_report,
+    degradation_curve,
+    resilience_ranking,
+    straggler_shift,
+)
+from .inject import FaultInjector, unit_hash
+from .plan import SCHEMA, ZERO_FAULTS, FaultPlan
+from .protocol import (
+    PROTO_TAG,
+    ProtocolConfig,
+    ProtocolExhaustedError,
+    ReliableComm,
+)
+
+__all__ = [
+    "SCHEMA",
+    "CHAOS_SCHEMA",
+    "PROTO_TAG",
+    "FaultPlan",
+    "ZERO_FAULTS",
+    "FaultInjector",
+    "unit_hash",
+    "ProtocolConfig",
+    "ProtocolExhaustedError",
+    "ReliableComm",
+    "chaos_report",
+    "degradation_curve",
+    "resilience_ranking",
+    "straggler_shift",
+]

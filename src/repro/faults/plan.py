@@ -1,0 +1,140 @@
+"""Fault plans — seeded, canonical-JSON-hashable chaos schedules.
+
+A :class:`FaultPlan` describes *which* faults a simulated run should
+experience, entirely in terms that compile down to deterministic per-message
+/ per-rank decisions (see :mod:`repro.faults.inject`):
+
+* ``drop_rate`` / ``dup_rate`` — per-message loss and duplication
+  probabilities (Bernoulli on a pure-integer hash of the message
+  coordinates);
+* ``jitter`` — maximum extra delivery delay in virtual seconds (uniform in
+  ``[0, jitter)`` per message);
+* ``slow_link_rate`` / ``slow_link_factor`` — a hash-chosen fraction of
+  directed links whose transfer time is multiplied by ``factor``;
+* ``straggler_rate`` / ``straggler_factor`` — a hash-chosen fraction of
+  ranks whose compute time is multiplied by ``factor``;
+* ``pause_rate`` / ``pause_start`` / ``pause_duration`` — a hash-chosen
+  fraction of ranks that go unresponsive for the virtual-time interval
+  ``[pause_start, pause_start + pause_duration)``.
+
+Because every decision is a function of ``(seed, coordinates)`` only, a
+plan is *bit-reproducible*: the same (program, machine, plan) always yields
+the same :class:`~repro.simmpi.trace.RunResult`, regardless of host,
+process count, or scheduling.  Plans canonicalize to sorted JSON under the
+``repro.fault-plan.v1`` schema and hash with SHA-256, which is what the
+batch runner folds into its result-cache keys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+__all__ = ["SCHEMA", "FaultPlan", "ZERO_FAULTS"]
+
+#: schema tag of the canonical fault-plan document
+SCHEMA = "repro.fault-plan.v1"
+
+_RATE_FIELDS = (
+    "drop_rate",
+    "dup_rate",
+    "slow_link_rate",
+    "straggler_rate",
+    "pause_rate",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """One deterministic fault schedule (all virtual-time quantities)."""
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    jitter: float = 0.0
+    slow_link_rate: float = 0.0
+    slow_link_factor: float = 1.0
+    straggler_rate: float = 0.0
+    straggler_factor: float = 1.0
+    pause_rate: float = 0.0
+    pause_start: float = 0.0
+    pause_duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate!r}")
+        if self.drop_rate >= 1.0 and self.drop_rate != 0.0:
+            # a rate of exactly 1.0 can never complete under any protocol
+            raise ValueError("drop_rate must be < 1.0")
+        for name in ("jitter", "pause_start", "pause_duration"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"{name} must be >= 0")
+        for name in ("slow_link_factor", "straggler_factor"):
+            if getattr(self, name) < 1.0:
+                raise ValueError(f"{name} must be >= 1.0")
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the plan injects nothing at all — a zero plan run is
+        bit-identical to a run with no fault injector attached (pinned by
+        the equivalence tests)."""
+        return (
+            all(getattr(self, name) == 0.0 for name in _RATE_FIELDS)
+            and self.jitter == 0.0
+        )
+
+    def to_canonical(self) -> dict:
+        """Sorted plain-JSON encoding (floats repr round-trip exactly)."""
+        return {
+            "drop_rate": self.drop_rate,
+            "dup_rate": self.dup_rate,
+            "jitter": self.jitter,
+            "pause_duration": self.pause_duration,
+            "pause_rate": self.pause_rate,
+            "pause_start": self.pause_start,
+            "seed": self.seed,
+            "slow_link_factor": self.slow_link_factor,
+            "slow_link_rate": self.slow_link_rate,
+            "straggler_factor": self.straggler_factor,
+            "straggler_rate": self.straggler_rate,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultPlan":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(f"unknown fault-plan keys: {sorted(unknown)}")
+        kwargs = {k: doc[k] for k in doc}
+        if "seed" in kwargs:
+            kwargs["seed"] = int(kwargs["seed"])
+        return cls(**kwargs)
+
+    def plan_hash(self) -> str:
+        """SHA-256 content address over the schema tag + canonical JSON —
+        this is what experiment cache keys fold in."""
+        material = json.dumps(
+            {"schema": SCHEMA, "plan": self.to_canonical()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable identity for tables and logs."""
+        parts = [f"seed={self.seed}"]
+        for name in (
+            "drop_rate", "dup_rate", "jitter", "slow_link_rate",
+            "straggler_rate", "pause_rate",
+        ):
+            value = getattr(self, name)
+            if value:
+                parts.append(f"{name}={value:g}")
+        return "faults(" + ", ".join(parts) + ")"
+
+
+#: the canonical "no faults" plan (useful as a sweep-axis baseline)
+ZERO_FAULTS = FaultPlan()

@@ -1,0 +1,280 @@
+"""Reliable delivery over a lossy simulated network.
+
+:class:`ReliableComm` wraps the plain :class:`~repro.simmpi.comm.Comm`
+verbs with a stop-and-wait acknowledgement protocol so rank programs
+complete correctly even when the fault injector drops or duplicates
+messages:
+
+* every user-level ``send`` becomes a *data* packet carrying a
+  per-(sender, receiver) sequence number, retransmitted with exponential
+  backoff until acknowledged (or :class:`ProtocolExhaustedError` after
+  ``max_retries`` attempts);
+* receivers acknowledge every data packet (including re-deliveries of
+  already-accepted sequence numbers, so lost acks are repaired) and drop
+  duplicates by sequence number;
+* a receiver that waits too long sends a *nack* naming the sequence
+  number it expects, prompting an immediate retransmit — this bounds
+  recovery time when the original data packet was dropped.
+
+All protocol traffic travels on a single reserved wire tag
+(:data:`PROTO_TAG`); the user-level tag rides inside the packet.  Because
+multipartitioning neighbor maps are permutations — rank ``a`` may wait on
+``b`` while ``b`` waits on ``c`` — every blocking point services packets
+from *any* source (``ANY_SOURCE``), never just the expected peer: a rank
+blocked waiting for its own ack still answers incoming data, which is what
+makes the protocol deadlock-free under arbitrary drop patterns (proved
+exhaustively by :mod:`repro.verify.protocol`).
+
+Timeouts fire only at engine quiescence, so a "spurious" timeout (ack in
+flight but outside the window) merely costs a retransmit that the receiver
+acks again — correctness never depends on timeout tuning.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator
+
+from repro.simmpi.comm import Comm
+from repro.simmpi.message import CANCELLED, TIMEOUT
+
+__all__ = [
+    "PROTO_TAG",
+    "ProtocolConfig",
+    "ProtocolExhaustedError",
+    "ReliableComm",
+]
+
+#: reserved wire tag for all protocol packets (above the collective block)
+PROTO_TAG = (1 << 30) + 1
+
+_HEADER_NBYTES = 32   # modeled size of seq/tag/kind framing on data packets
+_CTRL_NBYTES = 16     # modeled size of an ack/nack packet
+
+
+class ProtocolExhaustedError(RuntimeError):
+    """A sender gave up after ``max_retries`` unacknowledged retransmits.
+
+    With ``drop_rate < 1`` this is a tuning failure (retries exhausted
+    before the channel let a copy through), not a protocol failure; the
+    runner reports it as a structured, never-cached error result.
+    """
+
+    def __init__(self, rank: int, dest: int, seq: int, retries: int):
+        self.rank = rank
+        self.dest = dest
+        self.seq = seq
+        self.retries = retries
+        super().__init__(
+            f"rank {rank}: no ack from rank {dest} for seq {seq} "
+            f"after {retries} retries"
+        )
+
+
+class ProtocolConfig:
+    """Tuning knobs for the reliable-delivery wrapper (virtual seconds)."""
+
+    __slots__ = ("timeout", "max_retries", "backoff")
+
+    def __init__(
+        self,
+        timeout: float = 0.01,
+        max_retries: int = 8,
+        backoff: float = 2.0,
+    ):
+        if timeout <= 0.0:
+            raise ValueError("timeout must be > 0")
+        if max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        if backoff < 1.0:
+            raise ValueError("backoff must be >= 1.0")
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+
+    def to_canonical(self) -> dict:
+        return {
+            "backoff": self.backoff,
+            "max_retries": self.max_retries,
+            "timeout": self.timeout,
+        }
+
+
+class _Wire:
+    """One protocol packet.  ``kind`` is 'data', 'ack' or 'nack'; ``seq``
+    is the per-(src, dest) stream sequence number being carried (data) or
+    acknowledged/requested (ack/nack).  Exposes ``nbytes`` so the machine
+    model charges transfer time for the modeled packet size."""
+
+    __slots__ = ("kind", "src", "seq", "tag", "payload", "nbytes")
+
+    def __init__(self, kind: str, src: int, seq: int,
+                 tag: int = 0, payload: Any = None):
+        self.kind = kind
+        self.src = src
+        self.seq = seq
+        self.tag = tag
+        self.payload = payload
+        if kind == "data":
+            inner = getattr(payload, "nbytes", None)
+            if inner is None:
+                from repro.simmpi.message import payload_nbytes
+                inner = payload_nbytes(payload)
+            self.nbytes = int(inner) + _HEADER_NBYTES
+        else:
+            self.nbytes = _CTRL_NBYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Wire({self.kind}, src={self.src}, seq={self.seq})"
+
+
+class ReliableComm(Comm):
+    """Drop-in :class:`Comm` replacement with reliable point-to-point
+    delivery.  Collectives, phases and compute verbs are inherited — they
+    decompose into ``send``/``recv`` and so ride the protocol for free.
+
+    Rank programs using it must call :meth:`finalize` after their last
+    operation so the rank lingers to re-ack stray retransmissions; the
+    executor's wrapper generator does this automatically.
+    """
+
+    def __init__(self, rank: int, size: int,
+                 config: ProtocolConfig | None = None):
+        super().__init__(rank, size)
+        self.config = config or ProtocolConfig()
+        self._send_next: dict[int, int] = {}   # next seq to send, per dest
+        self._recv_next: dict[int, int] = {}   # next seq expected, per src
+        # accepted user messages not yet consumed, per source: (tag, payload)
+        self._ready: dict[int, deque[tuple[int, Any]]] = {}
+        self.stats = {
+            "data_sent": 0,
+            "retransmits": 0,
+            "timeouts": 0,
+            "duplicates_dropped": 0,
+            "acks": 0,
+            "nacks": 0,
+        }
+
+    # -- incoming dispatch ----------------------------------------------------
+
+    def _accept_data(self, pkt: _Wire) -> Generator:
+        """Handle an incoming data packet: buffer new sequence numbers,
+        drop duplicates, always (re-)acknowledge."""
+        expected = self._recv_next.get(pkt.src, 0)
+        if pkt.seq == expected:
+            self._recv_next[pkt.src] = expected + 1
+            self._ready.setdefault(pkt.src, deque()).append(
+                (pkt.tag, pkt.payload)
+            )
+        elif pkt.seq < expected:
+            # stale retransmission of something already accepted
+            self.stats["duplicates_dropped"] += 1
+        else:  # pragma: no cover - unreachable under stop-and-wait
+            raise RuntimeError(
+                f"rank {self.rank}: out-of-order seq {pkt.seq} from "
+                f"{pkt.src} (expected {expected})"
+            )
+        ack = _Wire("ack", src=self.rank, seq=pkt.seq)
+        yield from super().send(ack, pkt.src, PROTO_TAG)
+
+    # -- reliable verbs -------------------------------------------------------
+
+    def send(self, payload: Any, dest: int, tag: int = 0) -> Generator:
+        """Reliable send: transmit, then block until the matching ack,
+        servicing any other protocol traffic that arrives meanwhile."""
+        if dest == self.rank:
+            raise ValueError("self-send is not supported; keep data local")
+        seq = self._send_next.get(dest, 0)
+        self._send_next[dest] = seq + 1
+        pkt = _Wire("data", src=self.rank, seq=seq, tag=tag, payload=payload)
+        yield from super().send(pkt, dest, PROTO_TAG)
+        self.stats["data_sent"] += 1
+
+        attempt = 0
+        window = self.config.timeout
+        while True:
+            got = yield from self.recv_any(PROTO_TAG, timeout=window)
+            if got is TIMEOUT:
+                self.stats["timeouts"] += 1
+                attempt += 1
+                if attempt > self.config.max_retries:
+                    raise ProtocolExhaustedError(
+                        self.rank, dest, seq, self.config.max_retries
+                    )
+                yield from super().send(pkt, dest, PROTO_TAG)
+                self.stats["retransmits"] += 1
+                window *= self.config.backoff
+                continue
+            if got.kind == "data":
+                yield from self._accept_data(got)
+            elif got.kind == "ack":
+                if got.src == dest and got.seq == seq:
+                    self.stats["acks"] += 1
+                    return
+                # stale ack for an earlier (already-completed) send
+            elif got.kind == "nack":
+                if got.src == dest and got.seq == seq:
+                    yield from super().send(pkt, dest, PROTO_TAG)
+                    self.stats["retransmits"] += 1
+                # nacks for completed seqs need no action: the receiver's
+                # own timeout loop will re-nack until a copy lands
+
+    def recv(
+        self, source: int, tag: int = 0, timeout: float = -1.0
+    ) -> Generator:
+        """Reliable receive: returns the next not-yet-consumed payload from
+        ``source`` carrying ``tag``.  ``timeout`` is ignored — the protocol
+        manages its own timeout/nack cycle internally."""
+        if source == self.rank:
+            raise ValueError("self-recv is not supported")
+        nacks = 0
+        window = self.config.timeout
+        while True:
+            queue = self._ready.get(source)
+            if queue:
+                for i, (got_tag, payload) in enumerate(queue):
+                    if got_tag == tag:
+                        del queue[i]
+                        return payload
+            got = yield from self.recv_any(PROTO_TAG, timeout=window)
+            if got is TIMEOUT:
+                self.stats["timeouts"] += 1
+                nacks += 1
+                if nacks > self.config.max_retries:
+                    raise ProtocolExhaustedError(
+                        self.rank, source,
+                        self._recv_next.get(source, 0),
+                        self.config.max_retries,
+                    )
+                nack = _Wire(
+                    "nack", src=self.rank,
+                    seq=self._recv_next.get(source, 0),
+                )
+                yield from super().send(nack, source, PROTO_TAG)
+                self.stats["nacks"] += 1
+                # back off like the sender: a slow (not faulty) peer must
+                # never exhaust our nack budget
+                window *= self.config.backoff
+                continue
+            if got.kind == "data":
+                yield from self._accept_data(got)
+            elif got.kind == "nack":
+                # peer wants a retransmit of our current outstanding data;
+                # stop-and-wait means nothing of ours is outstanding here
+                # (sends return only after their ack), so it is stale
+                pass
+            # stale acks need no action
+
+    def finalize(self) -> Generator:
+        """Linger after the program's last operation, re-acking stray
+        retransmissions until every rank is done (the engine cancels the
+        receive at quiescence when all unfinished ranks are lingering)."""
+        while True:
+            got = yield from self.recv_any(
+                PROTO_TAG, timeout=-1.0, cancellable=True
+            )
+            if got is CANCELLED:
+                return
+            if got.kind == "data":
+                yield from self._accept_data(got)
+            # stray acks/nacks during shutdown are stale by construction

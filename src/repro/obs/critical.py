@@ -97,7 +97,9 @@ def _match_messages(
     )
     for rank in sorted(timelines):
         for idx, e in enumerate(timelines[rank]):
-            if e.kind == "send":
+            # sends the fault injector dropped never arrive: keeping them in
+            # the FIFO queues would silently shift every later pairing
+            if e.kind == "send" and not e.detail.endswith(" dropped"):
                 send_queues[(rank, e.peer, e.tag)].append((rank, idx))
     matches: dict[int, dict[int, tuple[int, int]]] = defaultdict(dict)
     for rank in sorted(timelines):

@@ -17,7 +17,49 @@ import dataclasses
 
 from .spec import SCHEMA_TAG, ExperimentSpec
 
-__all__ = ["run_spec", "resolve_machine", "resolve_cost_model"]
+__all__ = [
+    "run_spec",
+    "resolve_machine",
+    "resolve_cost_model",
+    "resolve_faults",
+]
+
+
+def resolve_faults(spec: ExperimentSpec):
+    """(FaultPlan | None, ProtocolConfig | None) for the spec's ``faults``.
+
+    The plan's hash seed defaults to the spec's seed; the reliable protocol
+    defaults to *on* exactly when the plan drops or duplicates messages
+    (lossy plans cannot complete without it) and can be forced on/off with
+    the ``protocol`` field — forcing it off with a lossy plan is rejected
+    downstream by the executor.
+    """
+    from repro.faults.plan import FaultPlan
+    from repro.faults.protocol import ProtocolConfig
+
+    if not spec.faults:
+        return None, None
+    params = dict(spec.faults)
+    protocol_flag = params.pop("protocol", None)
+    timeout = params.pop("protocol_timeout", None)
+    retries = params.pop("max_retries", None)
+    backoff = params.pop("backoff", None)
+    params.setdefault("seed", spec.seed)
+    plan = FaultPlan.from_dict(params)
+    if protocol_flag is None:
+        protocol_on = plan.drop_rate > 0.0 or plan.dup_rate > 0.0
+    else:
+        protocol_on = bool(int(protocol_flag))
+    if not protocol_on:
+        return plan, None
+    kwargs = {}
+    if timeout is not None:
+        kwargs["timeout"] = float(timeout)
+    if retries is not None:
+        kwargs["max_retries"] = int(retries)
+    if backoff is not None:
+        kwargs["backoff"] = float(backoff)
+    return plan, ProtocolConfig(**kwargs)
 
 
 def resolve_machine(spec: ExperimentSpec):
@@ -193,16 +235,26 @@ def run_spec(spec: ExperimentSpec, verify: bool = False) -> dict:
         result["speedup"] = float(t_seq / t_par) if t_par > 0 else None
         return result
 
+    from repro.faults.protocol import ProtocolExhaustedError
     from repro.simmpi.summary import RunSummary
     from repro.sweep.multipart import MultipartExecutor
+
+    fault_plan, protocol = resolve_faults(spec)
+    if fault_plan is not None:
+        result["fault_plan"] = fault_plan.to_canonical()
+        result["fault_plan_hash"] = fault_plan.plan_hash()
 
     if spec.mode == "skeleton":
         # payload-free replay: same timing/comm story as simulated mode
         # (pinned by the equivalence tests), no data to verify
         executor = MultipartExecutor(
-            partitioning, field_shape, machine, payload="skeleton"
+            partitioning, field_shape, machine, payload="skeleton",
+            faults=fault_plan, protocol=protocol,
         )
-        run_result = executor.run_skeleton(schedule)
+        try:
+            run_result = executor.run_skeleton(schedule)
+        except ProtocolExhaustedError as exc:
+            return _protocol_exhausted_result(spec, exc)
         summary = RunSummary.from_result(run_result)
         result["summary"] = summary.to_dict()
         makespan = summary.makespan
@@ -219,8 +271,14 @@ def run_spec(spec: ExperimentSpec, verify: bool = False) -> dict:
     from repro.sweep.sequential import run_sequential
 
     field = random_field(field_shape, seed=spec.seed)
-    executor = MultipartExecutor(partitioning, field_shape, machine)
-    out, run_result = executor.run(field, schedule)
+    executor = MultipartExecutor(
+        partitioning, field_shape, machine,
+        faults=fault_plan, protocol=protocol,
+    )
+    try:
+        out, run_result = executor.run(field, schedule)
+    except ProtocolExhaustedError as exc:
+        return _protocol_exhausted_result(spec, exc)
     ref = run_sequential(field, schedule)
     summary = RunSummary.from_result(run_result)
     result["summary"] = summary.to_dict()
@@ -228,3 +286,23 @@ def run_spec(spec: ExperimentSpec, verify: bool = False) -> dict:
     makespan = summary.makespan
     result["speedup"] = float(t_seq / makespan) if makespan > 0 else None
     return result
+
+
+def _protocol_exhausted_result(spec: ExperimentSpec, exc) -> dict:
+    """Structured, never-cached error for a sender that gave up.
+
+    Mirrors the ``verify=True`` violation path: the batch runner treats any
+    result carrying ``"error"`` as uncacheable, so a retry budget that was
+    too small for the fault rate never poisons the result cache.
+    """
+    return {
+        "schema": SCHEMA_TAG,
+        "spec": spec.to_canonical(),
+        "error": f"protocol retries exhausted: {exc}",
+        "protocol_exhausted": {
+            "rank": exc.rank,
+            "dest": exc.dest,
+            "seq": exc.seq,
+            "retries": exc.retries,
+        },
+    }

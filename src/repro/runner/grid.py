@@ -12,8 +12,9 @@ few axes and the cartesian product becomes the experiment list::
       "steps": 1
     }
 
-Expansion order is fixed (app, shape, machine, objective, partitioner, p —
-innermost last) so the same document always yields the same spec sequence,
+Expansion order is fixed (app, shape, machine, objective, partitioner,
+faults, p — innermost last) so the same document always yields the same
+spec sequence,
 which in turn keeps ``repro sweep`` output deterministic.
 """
 
@@ -33,8 +34,27 @@ _LIST_KEYS = {
     "machines": "origin2000",
     "objectives": "full",
     "partitioners": "optimal",
+    # fault-plan/protocol override dicts ({} = no injection); see
+    # repro.runner.spec.FAULT_FIELDS for the accepted keys
+    "faults": None,
 }
 _SCALAR_KEYS = {"mode": "modeled", "steps": 1, "seed": 2002}
+
+
+def _fault_axis(doc: dict) -> list:
+    """The ``faults`` axis: a list of override dicts, default one no-fault
+    entry so grids without the key expand exactly as before."""
+    value = doc.get("faults")
+    if value is None:
+        return [{}]
+    if not isinstance(value, (list, tuple)) or not value:
+        raise ValueError("grid key 'faults' must be a non-empty list")
+    for entry in value:
+        if not isinstance(entry, dict):
+            raise ValueError(
+                "each 'faults' entry must be a mapping of fault fields"
+            )
+    return list(value)
 
 
 def expand_grid(doc: dict) -> list[ExperimentSpec]:
@@ -64,20 +84,24 @@ def expand_grid(doc: dict) -> list[ExperimentSpec]:
             for machine in axis("machines"):
                 for objective in axis("objectives"):
                     for partitioner in axis("partitioners"):
-                        for p in axis("nprocs"):
-                            specs.append(
-                                ExperimentSpec(
-                                    shape=tuple(int(s) for s in shape),
-                                    p=int(p),
-                                    mode=mode,
-                                    app=app,
-                                    machine=machine,
-                                    partitioner=partitioner,
-                                    objective=objective,
-                                    steps=steps,
-                                    seed=seed,
+                        for fault in _fault_axis(doc):
+                            for p in axis("nprocs"):
+                                specs.append(
+                                    ExperimentSpec(
+                                        shape=tuple(
+                                            int(s) for s in shape
+                                        ),
+                                        p=int(p),
+                                        mode=mode,
+                                        app=app,
+                                        machine=machine,
+                                        partitioner=partitioner,
+                                        objective=objective,
+                                        steps=steps,
+                                        seed=seed,
+                                        faults=fault,
+                                    )
                                 )
-                            )
     return specs
 
 

@@ -30,6 +30,7 @@ from typing import Sequence
 
 __all__ = [
     "SCHEMA_TAG",
+    "FAULT_FIELDS",
     "ExperimentSpec",
     "spec_for_cost_model",
     "machine_spec_fields",
@@ -38,8 +39,10 @@ __all__ = [
 #: version tag of the *result* schema; baked into every cache key so that a
 #: format change invalidates all previously cached entries at once
 #: (v2: structural message byte accounting, comm/blocked summary fields,
-#: per-op tile overhead in the sequential baseline, skeleton mode)
-SCHEMA_TAG = "repro.sweep-result.v2"
+#: per-op tile overhead in the sequential baseline, skeleton mode;
+#: v3: fault-injection axis — always-present summary fault counters,
+#: optional protocol counters, fault plan echoed in the result)
+SCHEMA_TAG = "repro.sweep-result.v3"
 
 MODES = ("plan", "modeled", "simulated", "skeleton")
 APPS = ("sp", "bt", "adi")
@@ -60,6 +63,28 @@ MACHINE_FIELDS = (
     "itemsize",
     "tile_overhead",
     "network",
+)
+
+#: fault-plan fields plus reliable-protocol knobs (the ``faults`` params;
+#: see repro.faults.plan.FaultPlan / repro.faults.protocol.ProtocolConfig).
+#: ``seed`` defaults to the spec's seed; ``protocol`` (0/1) defaults to on
+#: exactly when the plan drops or duplicates messages.
+FAULT_FIELDS = (
+    "seed",
+    "drop_rate",
+    "dup_rate",
+    "jitter",
+    "slow_link_rate",
+    "slow_link_factor",
+    "straggler_rate",
+    "straggler_factor",
+    "pause_rate",
+    "pause_start",
+    "pause_duration",
+    "protocol",
+    "protocol_timeout",
+    "max_retries",
+    "backoff",
 )
 
 
@@ -102,6 +127,9 @@ class ExperimentSpec:
     seed: int = 2002
     machine_params: tuple[tuple[str, float], ...] = ()
     cost_params: tuple[tuple[str, float], ...] = ()
+    #: fault-plan / protocol overrides (empty = no fault injection); only
+    #: meaningful for the simulated and skeleton modes
+    faults: tuple[tuple[str, float], ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -117,6 +145,17 @@ class ExperimentSpec:
             "cost_params",
             _canon_params(self.cost_params, COST_FIELDS, "cost-model"),
         )
+        object.__setattr__(
+            self,
+            "faults",
+            _canon_params(self.faults, FAULT_FIELDS, "fault"),
+        )
+        if self.faults and self.mode not in ("simulated", "skeleton"):
+            raise ValueError(
+                "fault injection needs a message timeline: faults are only "
+                "valid in simulated or skeleton mode, "
+                f"not {self.mode!r}"
+            )
         if len(self.shape) < 2 or any(s < 1 for s in self.shape):
             raise ValueError(f"invalid array shape {self.shape}")
         if self.p < 1:
@@ -142,6 +181,7 @@ class ExperimentSpec:
         return {
             "app": self.app,
             "cost_params": [list(pair) for pair in self.cost_params],
+            "faults": [list(pair) for pair in self.faults],
             "machine": self.machine,
             "machine_params": [list(pair) for pair in self.machine_params],
             "mode": self.mode,

@@ -37,11 +37,13 @@ from .message import (
     SendOp,
 )
 from .topology import (
+    FatTree,
     FullyConnected,
     Hypercube,
     Mesh2D,
     Ring,
     Topology,
+    Torus3D,
     topology_for,
 )
 from .summary import RunSummary
@@ -75,6 +77,8 @@ __all__ = [
     "FullyConnected",
     "Ring",
     "Mesh2D",
+    "Torus3D",
+    "FatTree",
     "Hypercube",
     "topology_for",
     "ascii_timeline",

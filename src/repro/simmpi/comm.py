@@ -17,7 +17,16 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator
 
-from .message import PHASE_BEGIN, PHASE_END, ComputeOp, MarkOp, RecvOp, SendOp
+from .message import (
+    ANY_SOURCE,
+    ANY_TAG,
+    PHASE_BEGIN,
+    PHASE_END,
+    ComputeOp,
+    MarkOp,
+    RecvOp,
+    SendOp,
+)
 
 __all__ = ["Comm", "Request"]
 
@@ -90,11 +99,35 @@ class Comm:
             raise ValueError("self-send is not supported; keep data local")
         yield SendOp(dest=dest, payload=payload, tag=tag)
 
-    def recv(self, source: int, tag: int = 0) -> Generator:
-        """Blocking receive; returns the payload."""
+    def recv(
+        self, source: int, tag: int = 0, timeout: float = -1.0
+    ) -> Generator:
+        """Blocking receive; returns the payload.
+
+        With ``timeout >= 0`` the receive is bounded: it returns the
+        :data:`~repro.simmpi.message.TIMEOUT` sentinel if no matching
+        message arrives within ``timeout`` virtual seconds."""
         if source == self.rank:
             raise ValueError("self-recv is not supported")
-        payload = yield RecvOp(source=source, tag=tag)
+        payload = yield RecvOp(source=source, tag=tag, timeout=timeout)
+        return payload
+
+    def recv_any(
+        self,
+        tag: int = ANY_TAG,
+        timeout: float = -1.0,
+        cancellable: bool = False,
+    ) -> Generator:
+        """Receive the earliest-arriving matching message from *any* source
+        (ties broken by lowest source rank).  Supports the same ``timeout``
+        contract as :meth:`recv`; ``cancellable=True`` additionally lets the
+        engine cancel the receive at quiescence (returning
+        :data:`~repro.simmpi.message.CANCELLED`) when every other unfinished
+        rank is also lingering on a cancellable receive."""
+        payload = yield RecvOp(
+            source=ANY_SOURCE, tag=tag, timeout=timeout,
+            cancellable=cancellable,
+        )
         return payload
 
     def sendrecv(

@@ -57,9 +57,12 @@ from repro.core.cost import NetworkScaling
 
 from .machine import MachineModel
 from .message import (
+    ANY_SOURCE,
     ANY_TAG,
+    CANCELLED,
     PHASE_BEGIN,
     PHASE_END,
+    TIMEOUT,
     ComputeOp,
     MarkOp,
     Message,
@@ -78,9 +81,13 @@ class SimDeadlockError(RuntimeError):
     """All unfinished ranks are blocked on receives that can never match."""
 
 
+def _describe_source(source: int) -> str:
+    return "ANY" if source == ANY_SOURCE else str(source)
+
+
 def _deadlock_message(blocked: list[tuple[int, RecvOp]]) -> str:
     descriptions = "; ".join(
-        f"rank {rank} waiting on recv(source={op.source}, "
+        f"rank {rank} waiting on recv(source={_describe_source(op.source)}, "
         f"tag={'ANY' if op.tag == ANY_TAG else op.tag})"
         for rank, op in blocked
     )
@@ -122,6 +129,7 @@ class Engine:
         nprocs: int,
         record_events: bool = False,
         sinks: Iterable = (),
+        faults=None,
     ):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
@@ -149,10 +157,37 @@ class Engine:
         self._recv_cpu_time = machine.recv_cpu_time
         self._transfer_time = machine.transfer_time
         # wake index: _waiting_src[rank] is the source a blocked rank is
-        # receiving from (-1 when runnable); _dirty lists the blocked ranks
-        # whose awaited source sent since the last wake sweep
+        # receiving from (-1 when runnable, ANY_SOURCE for wildcard
+        # receives); _dirty lists the blocked ranks whose awaited source
+        # sent since the last wake sweep
         self._waiting_src = [-1] * nprocs
         self._dirty: list[int] = []
+        # optional fault injection (repro.faults.FaultInjector, duck-typed):
+        # all decisions are pure-integer hashes of the message coordinates,
+        # so they are independent of scheduling.  None keeps every hot path
+        # on its original branch.
+        self._faults = faults
+        if faults is not None:
+            self._seq: dict[int, int] = {}
+            self._straggle: list[float] | None = faults.compute_factors(
+                nprocs
+            )
+            self._pauses: list[list[tuple[float, float]]] | None = (
+                faults.pause_intervals(nprocs)
+            )
+            self._pause_idx = [0] * nprocs
+            self._fault_counts = {
+                "dropped": 0,
+                "duplicated": 0,
+                "delayed": 0,
+                "link_slowed": 0,
+                "timeouts_fired": 0,
+                "cancelled": 0,
+            }
+        else:
+            self._straggle = None
+            self._pauses = None
+            self._fault_counts = None
         # aggregate accounting, maintained on both the traced and the
         # null-emit paths (engine-owned; folded into `trace` at run end)
         self._msg_count = 0
@@ -174,34 +209,83 @@ class Engine:
 
     # -- op handlers ---------------------------------------------------------
 
+    def _pause_shift(self, rank: int, t: float) -> float:
+        """Push ``t`` past any fault-plan pause interval covering it.
+
+        Per-rank clocks are monotone, so a single advancing index suffices.
+        The time spent waiting out the pause is charged as blocked time.
+        """
+        intervals = self._pauses[rank]  # type: ignore[index]
+        i = self._pause_idx[rank]
+        while i < len(intervals) and intervals[i][1] <= t:
+            i += 1
+        self._pause_idx[rank] = i
+        if i < len(intervals) and intervals[i][0] <= t:
+            shifted = intervals[i][1]
+            self._blocked_s[rank] += shifted - t
+            return shifted
+        return t
+
     def _do_send(self, rank: int, state: _RankState, op: SendOp) -> None:
         dest = op.dest
         if not 0 <= dest < self.nprocs:
             raise ValueError(f"rank {rank}: send to invalid dest {dest}")
         nbytes = payload_nbytes(op.payload)
         start = state.clock
+        faults = self._faults
+        seq = 0
+        if faults is not None:
+            if self._pauses is not None:
+                start = self._pause_shift(rank, start)
+            key = rank * self.nprocs + dest
+            seq = self._seq.get(key, 0)
+            self._seq[key] = seq + 1
         clock = start + self._send_cpu_time(nbytes)
         state.clock = clock
         self._comm_s[rank] += clock - start
         wire_start = clock
         if self._bus and self._bus_free_at > wire_start:
             wire_start = self._bus_free_at
-        arrives = wire_start + self._transfer_time(nbytes, src=rank, dst=dest)
+        transfer = self._transfer_time(nbytes, src=rank, dst=dest)
+        dropped = False
+        duplicated = False
+        if faults is not None:
+            counts = self._fault_counts
+            factor = faults.link_factor(rank, dest)
+            if factor != 1.0:
+                transfer *= factor
+                counts["link_slowed"] += 1  # type: ignore[index]
+            delay = faults.extra_delay(rank, dest, op.tag, seq)
+            if delay != 0.0:
+                transfer += delay
+                counts["delayed"] += 1  # type: ignore[index]
+            dropped = faults.drop(rank, dest, op.tag, seq)
+            duplicated = not dropped and faults.duplicate(
+                rank, dest, op.tag, seq
+            )
+        arrives = wire_start + transfer
         if self._bus:
             self._bus_free_at = arrives
-        msg = Message(
-            source=rank,
-            dest=dest,
-            tag=op.tag,
-            payload=op.payload,
-            nbytes=nbytes,
-            sent_at=clock,
-            arrives_at=arrives,
-        )
-        self._inbox[dest][(rank, op.tag)].append(msg)
-        self._arrivals[dest][rank].append(msg)
-        if self._waiting_src[dest] == rank:
-            self._dirty.append(dest)
+        if dropped:
+            # the message was transmitted and lost: the sender paid its CPU
+            # and (on a bus) the wire occupancy, but nothing is delivered
+            self._fault_counts["dropped"] += 1  # type: ignore[index]
+        else:
+            msg = Message(
+                source=rank,
+                dest=dest,
+                tag=op.tag,
+                payload=op.payload,
+                nbytes=nbytes,
+                sent_at=clock,
+                arrives_at=arrives,
+                seq=seq,
+            )
+            self._inbox[dest][(rank, op.tag)].append(msg)
+            self._arrivals[dest][rank].append(msg)
+            ws = self._waiting_src[dest]
+            if ws == rank or ws == ANY_SOURCE:
+                self._dirty.append(dest)
         self._msg_count += 1
         self._total_bytes += nbytes
         if not self._fast:
@@ -211,7 +295,8 @@ class Engine:
                     kind="send",
                     start=start,
                     end=clock,
-                    detail=f"->{dest} tag={op.tag}",
+                    detail=f"->{dest} tag={op.tag}"
+                    + (" dropped" if dropped else ""),
                     nbytes=nbytes,
                     peer=dest,
                     tag=op.tag,
@@ -219,23 +304,115 @@ class Engine:
                     phase=state.phase_path,
                 )
             )
+        if duplicated:
+            # an in-network duplicate: same bytes delivered a second time,
+            # one wire latency later (deterministic spacing)
+            dup = Message(
+                source=rank,
+                dest=dest,
+                tag=op.tag,
+                payload=op.payload,
+                nbytes=nbytes,
+                sent_at=clock,
+                arrives_at=arrives + self.machine.latency,
+                seq=seq,
+            )
+            self._inbox[dest][(rank, op.tag)].append(dup)
+            self._arrivals[dest][rank].append(dup)
+            ws = self._waiting_src[dest]
+            if ws == rank or ws == ANY_SOURCE:
+                self._dirty.append(dest)
+            self._fault_counts["duplicated"] += 1  # type: ignore[index]
+            self._msg_count += 1
+            self._total_bytes += nbytes
+            if not self._fast:
+                # a second send event keeps FIFO send<->recv pairing intact
+                # for trace consumers (obs.critical matches per channel)
+                self._emit(
+                    TraceEvent(
+                        rank=rank,
+                        kind="send",
+                        start=clock,
+                        end=clock,
+                        detail=f"->{dest} tag={op.tag} dup",
+                        nbytes=nbytes,
+                        peer=dest,
+                        tag=op.tag,
+                        arrival=dup.arrives_at,
+                        phase=state.phase_path,
+                    )
+                )
+
+    def _peek_any_source(self, rank: int, tag: int) -> Message | None:
+        """Earliest-arriving deliverable message from any source (ties by
+        lowest source rank); per-source FIFO order is still respected —
+        only each source's head message is a candidate."""
+        best: Message | None = None
+        if tag == ANY_TAG:
+            for src in sorted(self._arrivals[rank]):
+                q = self._arrivals[rank][src]
+                if not q:
+                    continue
+                head = q[0]
+                if best is None or (
+                    (head.arrives_at, head.source)
+                    < (best.arrives_at, best.source)
+                ):
+                    best = head
+        else:
+            inbox = self._inbox[rank]
+            for src in sorted(self._arrivals[rank]):
+                q = inbox.get((src, tag))
+                if not q:
+                    continue
+                head = q[0]
+                if best is None or (
+                    (head.arrives_at, head.source)
+                    < (best.arrives_at, best.source)
+                ):
+                    best = head
+        return best
 
     def _try_recv(self, rank: int, state: _RankState, op: RecvOp) -> bool:
-        """Attempt to complete a receive; True on success."""
+        """Attempt to complete a receive; True on success.
+
+        A timed receive (``op.timeout >= 0``) completes here only when a
+        matching message arrives within the window; an expired window is
+        resolved at quiescence (:meth:`_resolve_quiescence`), never eagerly
+        — per-channel FIFO guarantees no earlier message can still appear,
+        but an :data:`ANY_SOURCE` receive could yet be satisfied by another
+        sender, so expiry must wait until no rank can make progress.
+        """
         source = op.source
-        if not 0 <= source < self.nprocs:
+        if source == ANY_SOURCE:
+            msg = self._peek_any_source(rank, op.tag)
+            if msg is None:
+                return False
+            if op.timeout >= 0 and msg.arrives_at > state.clock + op.timeout:
+                return False
+            if op.tag == ANY_TAG:
+                self._arrivals[rank][msg.source].popleft()
+                self._inbox[rank][(msg.source, msg.tag)].remove(msg)
+            else:
+                self._inbox[rank][(msg.source, msg.tag)].popleft()
+                self._arrivals[rank][msg.source].remove(msg)
+        elif not 0 <= source < self.nprocs:
             raise ValueError(
                 f"rank {rank}: recv from invalid source {source}"
             )
-        if op.tag == ANY_TAG:
+        elif op.tag == ANY_TAG:
             seq = self._arrivals[rank][source]
             if not seq:
+                return False
+            if op.timeout >= 0 and seq[0].arrives_at > state.clock + op.timeout:
                 return False
             msg = seq.popleft()
             self._inbox[rank][(source, msg.tag)].remove(msg)
         else:
             q = self._inbox[rank][(source, op.tag)]
             if not q:
+                return False
+            if op.timeout >= 0 and q[0].arrives_at > state.clock + op.timeout:
                 return False
             msg = q.popleft()
             self._arrivals[rank][source].remove(msg)
@@ -245,6 +422,8 @@ class Engine:
             start = clock
         else:
             self._blocked_s[rank] += start - clock
+        if self._pauses is not None:
+            start = self._pause_shift(rank, start)
         end = start + self._recv_cpu_time(msg.nbytes)
         state.clock = end
         self._comm_s[rank] += end - start
@@ -256,9 +435,9 @@ class Engine:
                     kind="recv",
                     start=start,
                     end=end,
-                    detail=f"<-{source} tag={msg.tag}",
+                    detail=f"<-{msg.source} tag={msg.tag}",
                     nbytes=msg.nbytes,
-                    peer=source,
+                    peer=msg.source,
                     tag=msg.tag,
                     arrival=msg.arrives_at,
                     phase=state.phase_path,
@@ -268,18 +447,26 @@ class Engine:
 
     def _do_compute(self, rank: int, state: _RankState, op: ComputeOp) -> None:
         start = state.clock
-        state.clock = start + op.seconds
-        self._compute_s[rank] += op.seconds
-        self._emit(
-            TraceEvent(
-                rank=rank,
-                kind="compute",
-                start=start,
-                end=state.clock,
-                detail=f"{op.points:g} pts" if op.points else "",
-                phase=state.phase_path,
+        seconds = op.seconds
+        if self._straggle is not None:
+            if self._pauses is not None:
+                start = self._pause_shift(rank, start)
+            factor = self._straggle[rank]
+            if factor != 1.0:
+                seconds = seconds * factor
+        state.clock = start + seconds
+        self._compute_s[rank] += seconds
+        if not self._fast:
+            self._emit(
+                TraceEvent(
+                    rank=rank,
+                    kind="compute",
+                    start=start,
+                    end=state.clock,
+                    detail=f"{op.points:g} pts" if op.points else "",
+                    phase=state.phase_path,
+                )
             )
-        )
 
     def _do_mark(self, rank: int, state: _RankState, op: MarkOp) -> None:
         label = op.label
@@ -318,28 +505,27 @@ class Engine:
                 f"expected {self.nprocs} rank programs, got {len(states)}"
             )
         runnable = deque(range(self.nprocs))
-        while runnable:
-            rank = runnable.popleft()
-            state = states[rank]
-            if state.done:
-                continue
-            self._advance(rank, state)
-            if not state.done and state.blocked is None:
-                raise AssertionError("rank neither done nor blocked")
-            # A rank that blocked may be unblocked by messages already sent;
-            # _advance loops internally, so reaching here means it is either
-            # finished or waiting on a future message.  Wake any ranks whose
-            # mailbox actually changed.
-            self._drain_wakeups(states)
-            if all(s.done or s.blocked is not None for s in states) and not all(
-                s.done for s in states
-            ):
-                blocked = [
-                    (r, s.blocked)
-                    for r, s in enumerate(states)
-                    if not s.done
-                ]
-                raise SimDeadlockError(_deadlock_message(blocked))
+        while True:
+            while runnable:
+                rank = runnable.popleft()
+                state = states[rank]
+                if state.done:
+                    continue
+                self._advance(rank, state)
+                if not state.done and state.blocked is None:
+                    raise AssertionError("rank neither done nor blocked")
+                # A rank that blocked may be unblocked by messages already
+                # sent; _advance loops internally, so reaching here means it
+                # is either finished or waiting on a future message.  Wake
+                # any ranks whose mailbox actually changed.
+                self._drain_wakeups(states)
+            if all(s.done for s in states):
+                break
+            # quiescence: every unfinished rank is blocked and no pending
+            # message can complete its receive — fire the earliest receive
+            # deadline, cancel an all-cancellable remainder, or report
+            # deadlock
+            runnable.extend(self._resolve_quiescence(states))
         trace = self.trace
         trace.message_count = self._msg_count
         trace.total_bytes = self._total_bytes
@@ -351,12 +537,97 @@ class Engine:
             compute_by_rank=tuple(self._compute_s),
             comm_by_rank=tuple(self._comm_s),
             blocked_by_rank=tuple(self._blocked_s),
+            fault_counts=(
+                dict(self._fault_counts)
+                if self._fault_counts is not None
+                else None
+            ),
         )
         for sink in self.sinks:
             on_run_end = getattr(sink, "on_run_end", None)
             if on_run_end is not None:
                 on_run_end(result)
         return result
+
+    def _resolve_quiescence(self, states: list[_RankState]) -> list[int]:
+        """Resolve a stall where every unfinished rank is blocked.
+
+        Resolution order:
+
+        1. **Timed receives** — fire the earliest ``(deadline, rank)``: the
+           rank resumes with :data:`TIMEOUT` at ``clock = deadline``.  Safe
+           by induction: at quiescence no rank can run before some blocked
+           receive resolves, and every other resolution happens at a
+           deadline ``>=`` this one, so every message sent afterwards is
+           *sent* at virtual time ``>=`` the fired deadline — no message
+           that "should have" beaten the timeout can still appear.
+        2. **Cancellable receives** — if every blocked rank is cancellable,
+           all resume with :data:`CANCELLED`, clocks unchanged (protocol
+           termination).
+        3. Otherwise the configuration is genuinely deadlocked.
+        """
+        best_rank = -1
+        best_deadline = 0.0
+        for r, s in enumerate(states):
+            if s.done or s.blocked is None:
+                continue
+            op = s.blocked
+            if op.timeout >= 0:
+                deadline = s.clock + op.timeout
+                if best_rank < 0 or deadline < best_deadline:
+                    best_rank, best_deadline = r, deadline
+        if best_rank >= 0:
+            s = states[best_rank]
+            self._blocked_s[best_rank] += best_deadline - s.clock
+            if not self._fast:
+                self._emit(
+                    TraceEvent(
+                        rank=best_rank,
+                        kind="timeout",
+                        start=s.clock,
+                        end=best_deadline,
+                        detail=(
+                            f"recv(source={_describe_source(s.blocked.source)}"
+                            f", tag={s.blocked.tag}) timed out"
+                        ),
+                        phase=s.phase_path,
+                    )
+                )
+            s.clock = best_deadline
+            s.pending_value = TIMEOUT
+            s.blocked = None
+            self._waiting_src[best_rank] = -1
+            if self._fault_counts is not None:
+                self._fault_counts["timeouts_fired"] += 1
+            return [best_rank]
+        blocked = [(r, s) for r, s in enumerate(states) if not s.done]
+        if blocked and all(
+            s.blocked is not None and s.blocked.cancellable
+            for _, s in blocked
+        ):
+            resumed = []
+            for r, s in blocked:
+                if not self._fast:
+                    self._emit(
+                        TraceEvent(
+                            rank=r,
+                            kind="cancel",
+                            start=s.clock,
+                            end=s.clock,
+                            detail="lingering recv cancelled",
+                            phase=s.phase_path,
+                        )
+                    )
+                s.pending_value = CANCELLED
+                s.blocked = None
+                self._waiting_src[r] = -1
+                if self._fault_counts is not None:
+                    self._fault_counts["cancelled"] += 1
+                resumed.append(r)
+            return resumed
+        raise SimDeadlockError(
+            _deadlock_message([(r, s.blocked) for r, s in blocked])
+        )
 
     def _take_ready(self) -> list[int]:
         """Blocked ranks whose awaited source sent a message since the last
@@ -414,7 +685,7 @@ class Engine:
         fallback so user-defined specializations keep working.
         """
         gen_send = state.gen.send
-        fast = self._fast
+        fast = self._fast and self._faults is None
         compute_s = self._compute_s
         while True:
             try:
@@ -461,10 +732,11 @@ def run_programs(
     programs: list[Generator],
     record_events: bool = False,
     sinks: Iterable = (),
+    faults=None,
 ) -> RunResult:
     """Convenience wrapper: run already-instantiated rank generators."""
     engine = Engine(
         machine, nprocs=len(programs), record_events=record_events,
-        sinks=sinks,
+        sinks=sinks, faults=faults,
     )
     return engine.run(programs)

@@ -21,11 +21,35 @@ __all__ = [
     "ComputeOp",
     "MarkOp",
     "ANY_TAG",
+    "ANY_SOURCE",
+    "TIMEOUT",
+    "CANCELLED",
     "PHASE_BEGIN",
     "PHASE_END",
 ]
 
 ANY_TAG = -1
+ANY_SOURCE = -2
+
+
+class _Sentinel:
+    """Singleton payload-substitute returned by special receive outcomes."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str):
+        self._name = name
+
+    def __repr__(self) -> str:
+        return self._name
+
+
+#: returned by a timed :class:`RecvOp` whose deadline passed with no
+#: matching message arriving in time
+TIMEOUT = _Sentinel("TIMEOUT")
+#: returned by a cancellable :class:`RecvOp` when the engine cancelled it
+#: at quiescence (all remaining ranks were lingering on cancellable recvs)
+CANCELLED = _Sentinel("CANCELLED")
 
 #: Mark-label prefixes of the hierarchical phase-span protocol: a
 #: ``MarkOp(PHASE_BEGIN + label)`` pushes ``label`` onto the rank's phase
@@ -82,6 +106,10 @@ class Message:
     nbytes: int
     sent_at: float
     arrives_at: float
+    #: per-(source, dest) wire sequence number; assigned only when a fault
+    #: injector is attached (it keys the injector's per-message decisions),
+    #: 0 otherwise
+    seq: int = 0
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -102,10 +130,28 @@ class SendOp:
 @dataclasses.dataclass(frozen=True, slots=True)
 class RecvOp:
     """Blocking receive matched by (source, tag) in FIFO order.  ``tag`` may
-    be :data:`ANY_TAG` to match the earliest message from ``source``."""
+    be :data:`ANY_TAG` to match the earliest message from ``source``, and
+    ``source`` may be :data:`ANY_SOURCE` to match the earliest-arriving
+    message from any source (ties broken by lowest source rank).
+
+    ``timeout >= 0`` bounds the wait: the receive completes normally only
+    with a matching message whose arrival is within ``timeout`` virtual
+    seconds of the moment the receive was posted; otherwise it yields the
+    :data:`TIMEOUT` sentinel with the clock advanced to the deadline.
+    Timeouts fire only at engine quiescence (earliest deadline first), so
+    they can never reorder against a message that would have arrived
+    earlier in virtual time.
+
+    ``cancellable=True`` marks a receive that may be abandoned: when every
+    unfinished rank is blocked on a cancellable receive, the engine resumes
+    them all with :data:`CANCELLED` (clocks unchanged) instead of declaring
+    deadlock — the termination handshake of the reliable-delivery protocol.
+    """
 
     source: int
     tag: int = 0
+    timeout: float = -1.0
+    cancellable: bool = False
 
 
 @dataclasses.dataclass(frozen=True, slots=True)

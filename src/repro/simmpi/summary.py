@@ -14,7 +14,26 @@ import dataclasses
 
 from .trace import RunResult
 
-__all__ = ["RunSummary"]
+__all__ = ["RunSummary", "ZERO_FAULT_COUNTS"]
+
+#: canonical all-zero fault counters — a run with no injector attached and a
+#: run under a zero-rate fault plan serialize byte-identically (pinned by the
+#: zero-plan equivalence tests)
+ZERO_FAULT_COUNTS = {
+    "cancelled": 0,
+    "delayed": 0,
+    "dropped": 0,
+    "duplicated": 0,
+    "link_slowed": 0,
+    "timeouts_fired": 0,
+}
+
+
+def _canon_counts(counts: dict | None) -> dict:
+    """Sorted copy over the canonical key set (zeros when absent)."""
+    if counts is None:
+        return dict(ZERO_FAULT_COUNTS)
+    return {key: int(counts.get(key, 0)) for key in ZERO_FAULT_COUNTS}
 
 
 @dataclasses.dataclass(frozen=True)
@@ -31,11 +50,20 @@ class RunSummary:
     #: ranks; 0.0 for summaries deserialized from pre-v2 documents
     comm_seconds: float = 0.0
     blocked_seconds: float = 0.0
+    #: fault-injection counters; always serialized (all-zero when the run
+    #: had no injector) so fault-free and zero-plan results are identical
+    faults: tuple[tuple[str, int], ...] = tuple(
+        sorted(ZERO_FAULT_COUNTS.items())
+    )
+    #: aggregated reliable-delivery protocol counters, or None when the run
+    #: did not use the protocol wrapper
+    protocol: tuple[tuple[str, int], ...] | None = None
 
     @classmethod
     def from_result(cls, result: RunResult) -> "RunSummary":
         """Summarize a run.  Works for traces recorded with events disabled
         too — the aggregate counters are maintained unconditionally."""
+        protocol = result.protocol_stats
         return cls(
             nprocs=len(result.clocks),
             makespan=result.makespan,
@@ -45,12 +73,18 @@ class RunSummary:
             compute_seconds=result.trace.compute_seconds,
             comm_seconds=sum(result.comm_by_rank or ()),
             blocked_seconds=sum(result.blocked_by_rank or ()),
+            faults=tuple(sorted(_canon_counts(result.fault_counts).items())),
+            protocol=(
+                tuple(sorted((k, int(v)) for k, v in protocol.items()))
+                if protocol is not None
+                else None
+            ),
         )
 
     def to_dict(self) -> dict:
         """JSON-serializable encoding; floats survive exactly (repr
         round-trip)."""
-        return {
+        doc = {
             "nprocs": self.nprocs,
             "makespan": self.makespan,
             "clocks": list(self.clocks),
@@ -59,10 +93,15 @@ class RunSummary:
             "compute_seconds": self.compute_seconds,
             "comm_seconds": self.comm_seconds,
             "blocked_seconds": self.blocked_seconds,
+            "faults": dict(self.faults),
         }
+        if self.protocol is not None:
+            doc["protocol"] = dict(self.protocol)
+        return doc
 
     @classmethod
     def from_dict(cls, doc: dict) -> "RunSummary":
+        protocol = doc.get("protocol")
         return cls(
             nprocs=int(doc["nprocs"]),
             makespan=float(doc["makespan"]),
@@ -72,4 +111,12 @@ class RunSummary:
             compute_seconds=float(doc["compute_seconds"]),
             comm_seconds=float(doc.get("comm_seconds", 0.0)),
             blocked_seconds=float(doc.get("blocked_seconds", 0.0)),
+            faults=tuple(
+                sorted(_canon_counts(doc.get("faults")).items())
+            ),
+            protocol=(
+                tuple(sorted((k, int(v)) for k, v in protocol.items()))
+                if protocol is not None
+                else None
+            ),
         )

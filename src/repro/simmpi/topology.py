@@ -24,6 +24,8 @@ __all__ = [
     "FullyConnected",
     "Ring",
     "Mesh2D",
+    "Torus3D",
+    "FatTree",
     "Hypercube",
     "topology_for",
 ]
@@ -94,6 +96,60 @@ class Mesh2D(Topology):
         return abs(r1 - r2) + abs(c1 - c2)
 
 
+class Torus3D(Topology):
+    """``nx x ny x nz`` 3-D torus (wraparound mesh) with x-major ranks —
+    the natural host for 3-D multipartitionings: per-axis hop distance is
+    circular, like the tile-coordinate shifts of a diagonal mapping."""
+
+    def __init__(self, nx: int, ny: int, nz: int):
+        if nx < 1 or ny < 1 or nz < 1:
+            raise ValueError("torus dimensions must be >= 1")
+        super().__init__(nx * ny * nz)
+        self.nx = nx
+        self.ny = ny
+        self.nz = nz
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        x1, rem1 = divmod(src, self.ny * self.nz)
+        y1, z1 = divmod(rem1, self.nz)
+        x2, rem2 = divmod(dst, self.ny * self.nz)
+        y2, z2 = divmod(rem2, self.nz)
+        dx = abs(x1 - x2)
+        dy = abs(y1 - y2)
+        dz = abs(z1 - z2)
+        return (
+            min(dx, self.nx - dx)
+            + min(dy, self.ny - dy)
+            + min(dz, self.nz - dz)
+        )
+
+
+class FatTree(Topology):
+    """Fat tree of ``arity``-way switches: hop count is the up/down path
+    through the lowest common ancestor — 2 * level(LCA).  Ranks under the
+    same leaf switch are one hop apart (through that switch), which is the
+    distance structure of a cluster with top-of-rack plus spine switches."""
+
+    def __init__(self, nprocs: int, arity: int = 4):
+        if arity < 2:
+            raise ValueError("fat-tree arity must be >= 2")
+        super().__init__(nprocs)
+        self.arity = arity
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        if src == dst:
+            return 0
+        a, b = src // self.arity, dst // self.arity
+        level = 1
+        while a != b:
+            a //= self.arity
+            b //= self.arity
+            level += 1
+        return 2 * level - 1
+
+
 class Hypercube(Topology):
     """``2**n``-node hypercube (Bruno–Cappello's target machine): hop count
     is the Hamming distance of the rank labels."""
@@ -112,8 +168,10 @@ class Hypercube(Topology):
 def topology_for(kind: str, nprocs: int) -> Topology:
     """Build a named topology sized for ``nprocs`` ranks.
 
-    ``mesh2d`` needs ``nprocs`` to factor near-squarely; ``hypercube``
-    needs a power of two.
+    ``mesh2d`` factors ``nprocs`` near-squarely and ``torus3d``
+    near-cubically (largest divisor at or below the integer root, applied
+    per axis); ``hypercube`` needs a power of two; ``fattree`` uses 4-way
+    switches.
     """
     kind = kind.lower()
     if kind in ("full", "fullyconnected", "crossbar"):
@@ -125,6 +183,17 @@ def topology_for(kind: str, nprocs: int) -> Topology:
         while rows > 1 and nprocs % rows:
             rows -= 1
         return Mesh2D(rows, nprocs // rows)
+    if kind == "torus3d":
+        nx = integer_nth_root(nprocs, 3)
+        while nx > 1 and nprocs % nx:
+            nx -= 1
+        rest = nprocs // nx
+        ny = integer_nth_root(rest, 2)
+        while ny > 1 and rest % ny:
+            ny -= 1
+        return Torus3D(nx, ny, rest // ny)
+    if kind == "fattree":
+        return FatTree(nprocs)
     if kind == "hypercube":
         n = nprocs.bit_length() - 1
         if 2**n != nprocs:

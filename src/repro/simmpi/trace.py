@@ -10,7 +10,8 @@ __all__ = ["TraceEvent", "Trace", "RunResult"]
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class TraceEvent:
-    """One timeline entry: ``kind`` in {'send', 'recv', 'compute', 'mark'}.
+    """One timeline entry: ``kind`` in {'send', 'recv', 'compute', 'mark',
+    'timeout', 'cancel'}.
 
     ``peer``/``tag``/``arrival`` carry the message identity needed to match
     sends to receives after the fact (the event dependency DAG walked by
@@ -72,6 +73,13 @@ class RunResult:
     compute_by_rank: tuple[float, ...] | None = None
     comm_by_rank: tuple[float, ...] | None = None
     blocked_by_rank: tuple[float, ...] | None = None
+    #: fault-injection counters (dropped/duplicated/delayed/...) when the
+    #: engine ran with a fault injector attached, else None
+    fault_counts: dict | None = None
+    #: aggregated reliable-delivery protocol counters (retransmits,
+    #: timeouts, duplicates dropped, ...) attached by the executor when
+    #: rank programs ran under the protocol wrapper, else None
+    protocol_stats: dict | None = None
 
     @property
     def makespan(self) -> float:

@@ -29,12 +29,16 @@ communication structure and timing, none of which needs the payload data.
 
 from __future__ import annotations
 
+import dataclasses
 from math import prod
 from typing import Generator
 
 import numpy as np
 
 from repro.core.mapping import Multipartitioning
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.protocol import ProtocolConfig, ReliableComm
 from repro.simmpi.comm import Comm
 from repro.simmpi.engine import run_programs
 from repro.simmpi.machine import MachineModel
@@ -107,12 +111,23 @@ class MultipartExecutor:
         record_events: bool = False,
         sinks: tuple = (),
         payload: str = "data",
+        faults: FaultPlan | None = None,
+        protocol: ProtocolConfig | None = None,
     ):
         if len(shape) != partitioning.ndim:
             raise ValueError("array rank must match partitioning rank")
         if payload not in ("data", "skeleton"):
             raise ValueError(
                 f"payload must be 'data' or 'skeleton', got {payload!r}"
+            )
+        if (
+            faults is not None
+            and (faults.drop_rate > 0.0 or faults.dup_rate > 0.0)
+            and protocol is None
+        ):
+            raise ValueError(
+                "fault plans that drop or duplicate messages require the "
+                "reliable-delivery protocol (pass protocol=ProtocolConfig())"
             )
         self.partitioning = partitioning
         self.grid = TileGrid(tuple(shape), partitioning.gammas)
@@ -121,9 +136,49 @@ class MultipartExecutor:
         self.record_events = record_events
         self.sinks = tuple(sinks)
         self.payload = payload
+        self.faults = faults
+        self.protocol = protocol
         # ops' phase annotations / marks only matter when someone observes
         # them: the in-memory trace or a streaming sink
         self._emit_marks = record_events or bool(self.sinks)
+
+    # -- fault / protocol plumbing --------------------------------------------
+
+    def _make_comm(self, rank: int) -> Comm:
+        """Plain communicator, or the reliable-delivery wrapper when a
+        protocol config is attached."""
+        nprocs = self.partitioning.nprocs
+        if self.protocol is not None:
+            return ReliableComm(rank, nprocs, self.protocol)
+        return Comm(rank, nprocs)
+
+    @staticmethod
+    def _finalized(comm: "ReliableComm", inner: Generator) -> Generator:
+        """Run ``inner``, then linger re-acking stray retransmissions until
+        every rank is done (see :meth:`ReliableComm.finalize`)."""
+        result = yield from inner
+        yield from comm.finalize()
+        return result
+
+    def _injector(self) -> "FaultInjector | None":
+        if self.faults is None:
+            return None
+        return FaultInjector(self.faults, self.partitioning.nprocs)
+
+    @staticmethod
+    def _attach_protocol_stats(
+        result: RunResult, comms: "list[Comm]"
+    ) -> RunResult:
+        """Fold per-rank :class:`ReliableComm` counters into the result."""
+        keys = comms[0].stats  # type: ignore[attr-defined]
+        aggregated = {
+            key: sum(
+                comm.stats[key]  # type: ignore[attr-defined]
+                for comm in comms
+            )
+            for key in keys
+        }
+        return dataclasses.replace(result, protocol_stats=aggregated)
 
     # -- public API -----------------------------------------------------------
 
@@ -150,16 +205,22 @@ class MultipartExecutor:
             scattered = self.grid.scatter(array, mp.owner, mp.nprocs)
             for rank in range(mp.nprocs):
                 per_rank_named[rank][name] = scattered[rank]
+        comms = [self._make_comm(rank) for rank in range(mp.nprocs)]
         programs = [
-            self._rank_program(
-                Comm(rank, mp.nprocs), per_rank_named[rank], schedule
-            )
+            self._rank_program(comms[rank], per_rank_named[rank], schedule)
             for rank in range(mp.nprocs)
         ]
+        if self.protocol is not None:
+            programs = [
+                self._finalized(comm, prog)
+                for comm, prog in zip(comms, programs)
+            ]
         result = run_programs(
             self.machine, programs, record_events=self.record_events,
-            sinks=self.sinks,
+            sinks=self.sinks, faults=self._injector(),
         )
+        if self.protocol is not None:
+            result = self._attach_protocol_stats(result, comms)
         out = {
             name: self.grid.gather(
                 [per_rank_named[rank][name] for rank in range(mp.nprocs)]
@@ -178,14 +239,23 @@ class MultipartExecutor:
         match real-data mode bit-for-bit; only the array contents are
         absent."""
         mp = self.partitioning
+        comms = [self._make_comm(rank) for rank in range(mp.nprocs)]
         programs = [
-            self._skeleton_program(Comm(rank, mp.nprocs), schedule)
+            self._skeleton_program(comms[rank], schedule)
             for rank in range(mp.nprocs)
         ]
-        return run_programs(
+        if self.protocol is not None:
+            programs = [
+                self._finalized(comm, prog)
+                for comm, prog in zip(comms, programs)
+            ]
+        result = run_programs(
             self.machine, programs, record_events=self.record_events,
-            sinks=self.sinks,
+            sinks=self.sinks, faults=self._injector(),
         )
+        if self.protocol is not None:
+            result = self._attach_protocol_stats(result, comms)
+        return result
 
     def skeleton_rank_program(self, rank: int, schedule) -> Generator:
         """One rank's payload-free program as a fresh generator.

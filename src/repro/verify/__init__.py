@@ -30,6 +30,7 @@ from .ir import (
     extract_program_ir,
 )
 from .matching import check_matching
+from .protocol import check_protocol
 from .races import check_races, vector_clocks
 from .report import SCHEMA, AnalysisResult, VerifyReport, Violation
 
@@ -48,6 +49,7 @@ __all__ = [
     "check_deadlock",
     "check_invariants",
     "check_matching",
+    "check_protocol",
     "check_races",
     "execute_abstract",
     "extract_program_ir",

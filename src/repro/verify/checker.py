@@ -129,8 +129,17 @@ def verify_config(
     partitioner: str = "optimal",
     machine: Any = None,
     stencil_rhs: bool = False,
+    protocol: bool = False,
 ) -> VerifyReport:
-    """Statically verify one configuration without executing the engine."""
+    """Statically verify one configuration without executing the engine.
+
+    With ``protocol=True`` the report additionally carries the
+    reliable-delivery model check (:mod:`repro.verify.protocol`): the
+    exhaustive proof that this configuration's rank programs, run under the
+    ack/retransmit wrapper, cannot deadlock under any message-drop pattern
+    (pairwise automaton progress + the wrapper's any-source servicing; see
+    that module's docstring for the composition argument).
+    """
     config: dict[str, Any] = {
         "app": app,
         "shape": list(int(s) for s in shape),
@@ -187,8 +196,20 @@ def verify_config(
         "bytes": ir.total_send_bytes,
     }
     config["ir"] = stats_extra
+    analyses = (matching, deadlock, races, invariant_result)
+    if protocol:
+        from .protocol import check_protocol
+
+        result = check_protocol()
+        # tie the generic pairwise proof to this configuration's channels
+        result = AnalysisResult(
+            name=result.name,
+            violations=result.violations,
+            stats={**result.stats, "config_channels": ir.total_sends},
+        )
+        analyses = analyses + (result,)
     return VerifyReport(
         config=config,
-        analyses=(matching, deadlock, races, invariant_result),
+        analyses=analyses,
         certificate=certificate,
     )

@@ -15,7 +15,9 @@ virtual-time model rest on:
 * **VR102 — unseeded randomness.**  Module-level ``random.*`` calls and
   legacy ``np.random.*`` draw from hidden global state; only explicitly
   seeded generators (``random.Random(seed)``, ``np.random.default_rng
-  (seed)``) are allowed.
+  (seed)``) are allowed.  A literal ``None`` seed (``default_rng(None)``,
+  ``random.Random(None)``, ``seed=None``) counts as unseeded — it pulls
+  OS entropy; thread the CLI ``--seed`` value through instead.
 * **VR103 — wall clock in simulator cost paths.**  ``time.time`` /
   ``perf_counter`` / ``monotonic`` and friends inside :mod:`repro.simmpi`
   would couple virtual time to host load.  Scoped to files whose path
@@ -77,6 +79,11 @@ _WALL_CLOCK = {
                        "process_time_ns"}),
     "datetime": frozenset({"now", "utcnow", "today"}),
 }
+
+
+def _literal_none(node: ast.AST | None) -> bool:
+    """A literal ``None`` expression (the tell-tale unseeded seed)."""
+    return isinstance(node, ast.Constant) and node.value is None
 
 
 def _is_set_expr(node: ast.AST) -> bool:
@@ -330,9 +337,17 @@ class _Linter(ast.NodeVisitor):
                     f"random.{attr}() draws from hidden global state; use "
                     "an explicitly seeded random.Random(seed)",
                 )
-            if mod == "random" and attr == "Random" and not node.args:
+            if mod == "random" and attr == "Random" and (
+                not node.args or _literal_none(node.args[0])
+            ):
                 self._report(
-                    node, "VR102", "random.Random() without a seed"
+                    node,
+                    "VR102",
+                    "random.Random() without a seed"
+                    if not node.args
+                    else "random.Random(None) seeds from OS entropy; "
+                    "pass an explicit seed (thread the CLI --seed "
+                    "through)",
                 )
         if (
             isinstance(func, ast.Attribute)
@@ -355,12 +370,32 @@ class _Linter(ast.NodeVisitor):
             and func.value.value.id in ("np", "numpy")
             and func.value.attr == "random"
             and func.attr == "default_rng"
-            and not node.args
-            and not node.keywords
         ):
-            self._report(
-                node, "VR102", "np.random.default_rng() without a seed"
+            seed_value = (
+                node.args[0]
+                if node.args
+                else next(
+                    (
+                        kw.value
+                        for kw in node.keywords
+                        if kw.arg == "seed"
+                    ),
+                    None,
+                )
             )
+            if not node.args and not node.keywords:
+                self._report(
+                    node, "VR102",
+                    "np.random.default_rng() without a seed",
+                )
+            elif _literal_none(seed_value):
+                self._report(
+                    node,
+                    "VR102",
+                    "np.random.default_rng(None) seeds from OS entropy; "
+                    "pass an explicit seed (thread the CLI --seed "
+                    "through)",
+                )
         # VR103: wall clock inside simmpi
         if (
             self.in_simmpi

@@ -1,0 +1,359 @@
+"""Model check: the reliable-delivery protocol cannot deadlock under drops.
+
+:mod:`repro.faults.protocol` layers a stop-and-wait ack/retransmit protocol
+over each directed ``(sender, receiver)`` pair.  Pairs are independent —
+sequence numbers, retransmit budgets, and ready-queues are all per-peer
+state — and every blocking point in the implementation services control
+traffic from *any* source, so a rank blocked in one pairwise exchange can
+always progress every other exchange it participates in.  System-level
+progress therefore reduces to progress of the **pairwise automaton**, and
+that automaton is small enough to check exhaustively.
+
+:func:`check_protocol` enumerates every reachable state of one sender ×
+receiver × adversarial-channel system:
+
+* the channel may **drop** any packet at any time, and **duplicate** any
+  packet it holds (delivery that keeps a copy in flight);
+* the sender's timeout may fire at any moment it is waiting (a strict
+  over-approximation of the engine, which fires timeouts only at
+  quiescence — every real schedule is a subset of the modeled ones);
+* the receiver may time out and nack whenever it is expecting data;
+* retransmit/nack budgets are bounded by ``max_retries``, matching the
+  implementation's :class:`~repro.faults.protocol.ProtocolExhaustedError`.
+
+Verified properties over the full reachable graph:
+
+1. **no stuck state** — every non-terminal state has at least one outgoing
+   transition;
+2. **termination reachable** — from every reachable state some terminal
+   (``delivered`` or ``exhausted``) is reachable, i.e. no livelock cycle
+   traps the system away from termination;
+3. **safety** — the receiver accepts sequence numbers exactly once, in
+   order, and a ``delivered`` terminal implies every message was accepted
+   (no loss or duplication surfaces to the application layer).
+
+Exhaustion is a *detected* terminal (the sender raises), never a hang —
+which is exactly the "cannot deadlock under any drop pattern" claim.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from .report import AnalysisResult, Violation
+
+__all__ = ["ProtocolState", "check_protocol", "explore"]
+
+_SENDING = 0
+_DELIVERED = 1
+_EXHAUSTED = 2
+
+#: packet kinds on the modeled channel
+_DATA = "data"
+_ACK = "ack"
+_NACK = "nack"
+
+Packet = tuple[str, int]
+Channel = frozenset[Packet]
+
+
+class ProtocolState:
+    """One global state of the pairwise protocol automaton.
+
+    ``msg`` is the sequence number the sender currently wants acknowledged
+    (== number of fully delivered messages); ``attempt``/``nacks`` are the
+    consumed retransmit/nack budgets; ``expected`` is the receiver's next
+    expected sequence number; ``channel`` the set of packets in flight
+    (set semantics — the duplicate transition models multiplicity).
+    """
+
+    __slots__ = ("phase", "msg", "attempt", "nacks", "expected", "channel")
+
+    def __init__(
+        self,
+        phase: int,
+        msg: int,
+        attempt: int,
+        nacks: int,
+        expected: int,
+        channel: Channel,
+    ) -> None:
+        self.phase = phase
+        self.msg = msg
+        self.attempt = attempt
+        self.nacks = nacks
+        self.expected = expected
+        self.channel = channel
+
+    def key(self) -> tuple[int, int, int, int, int, Channel]:
+        return (
+            self.phase,
+            self.msg,
+            self.attempt,
+            self.nacks,
+            self.expected,
+            self.channel,
+        )
+
+    @property
+    def terminal(self) -> bool:
+        return self.phase != _SENDING
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        phase = {_SENDING: "sending", _DELIVERED: "delivered",
+                 _EXHAUSTED: "exhausted"}[self.phase]
+        return (
+            f"ProtocolState({phase}, msg={self.msg}, att={self.attempt}, "
+            f"nacks={self.nacks}, exp={self.expected}, "
+            f"ch={sorted(self.channel)})"
+        )
+
+
+def _initial(messages: int) -> ProtocolState:
+    if messages < 1:
+        raise ValueError("messages must be >= 1")
+    # the first data packet is on the wire (the adversary may drop it)
+    return ProtocolState(
+        _SENDING, 0, 0, 0, 0, frozenset({(_DATA, 0)})
+    )
+
+
+def _successors(
+    state: ProtocolState, messages: int, max_retries: int
+) -> Iterator[ProtocolState]:
+    """All states reachable in one protocol or adversary step."""
+    if state.terminal:
+        return
+    chan = state.channel
+
+    # -- adversary: drop any in-flight packet --------------------------------
+    for pkt in chan:
+        yield ProtocolState(
+            state.phase, state.msg, state.attempt, state.nacks,
+            state.expected, chan - {pkt},
+        )
+
+    # -- sender timeout: retransmit or give up -------------------------------
+    if state.attempt < max_retries:
+        yield ProtocolState(
+            _SENDING, state.msg, state.attempt + 1, state.nacks,
+            state.expected, chan | {(_DATA, state.msg)},
+        )
+    else:
+        yield ProtocolState(
+            _EXHAUSTED, state.msg, state.attempt, state.nacks,
+            state.expected, chan,
+        )
+
+    # -- receiver timeout: nack the expected sequence number -----------------
+    if state.expected <= state.msg and state.nacks < max_retries:
+        yield ProtocolState(
+            _SENDING, state.msg, state.attempt, state.nacks + 1,
+            state.expected, chan | {(_NACK, state.expected)},
+        )
+
+    # -- deliveries (each packet, with and without a surviving copy) ---------
+    for pkt in chan:
+        kind, seq = pkt
+        for remaining in (chan - {pkt}, chan):  # consumed / duplicated
+            if kind == _DATA:
+                if seq == state.expected:
+                    # accept, advance, ack; nack budget resets with progress
+                    yield ProtocolState(
+                        state.phase, state.msg, state.attempt, 0,
+                        state.expected + 1, remaining | {(_ACK, seq)},
+                    )
+                else:
+                    # stale retransmission: re-ack so a lost ack is repaired
+                    yield ProtocolState(
+                        state.phase, state.msg, state.attempt, state.nacks,
+                        state.expected, remaining | {(_ACK, seq)},
+                    )
+            elif kind == _ACK:
+                if seq == state.msg:
+                    nxt = state.msg + 1
+                    if nxt == messages:
+                        yield ProtocolState(
+                            _DELIVERED, nxt, 0, state.nacks,
+                            state.expected, remaining,
+                        )
+                    else:
+                        # move to the next message; its data hits the wire
+                        yield ProtocolState(
+                            _SENDING, nxt, 0, state.nacks,
+                            state.expected, remaining | {(_DATA, nxt)},
+                        )
+                else:
+                    # stale ack: consumed without effect
+                    yield ProtocolState(
+                        state.phase, state.msg, state.attempt, state.nacks,
+                        state.expected, remaining,
+                    )
+            else:  # nack
+                if seq == state.msg:
+                    yield ProtocolState(
+                        state.phase, state.msg, state.attempt, state.nacks,
+                        state.expected, remaining | {(_DATA, seq)},
+                    )
+                else:
+                    yield ProtocolState(
+                        state.phase, state.msg, state.attempt, state.nacks,
+                        state.expected, remaining,
+                    )
+
+
+def explore(
+    messages: int = 2, max_retries: int = 3
+) -> tuple[
+    dict[tuple[int, int, int, int, int, Channel], ProtocolState],
+    dict[
+        tuple[int, int, int, int, int, Channel],
+        list[tuple[int, int, int, int, int, Channel]],
+    ],
+]:
+    """Breadth-first enumeration of the reachable state graph.
+
+    Returns ``(states, edges)`` keyed by :meth:`ProtocolState.key`.
+    """
+    start = _initial(messages)
+    states = {start.key(): start}
+    edges: dict[
+        tuple[int, int, int, int, int, Channel],
+        list[tuple[int, int, int, int, int, Channel]],
+    ] = {}
+    queue: deque[ProtocolState] = deque([start])
+    while queue:
+        state = queue.popleft()
+        key = state.key()
+        if key in edges:
+            continue
+        outs: list[tuple[int, int, int, int, int, Channel]] = []
+        for succ in _successors(state, messages, max_retries):
+            succ_key = succ.key()
+            if succ_key == key:
+                continue
+            outs.append(succ_key)
+            if succ_key not in states:
+                states[succ_key] = succ
+                queue.append(succ)
+        edges[key] = outs
+    return states, edges
+
+
+def check_protocol(
+    messages: int = 2, max_retries: int = 3
+) -> AnalysisResult:
+    """Exhaustively verify the pairwise protocol automaton.
+
+    ``messages`` bounds the delivered stream length (2 exercises the
+    stale-ack/stale-nack interactions across a sequence-number boundary);
+    ``max_retries`` bounds both retransmit and nack budgets.
+    """
+    states, edges = explore(messages, max_retries)
+    violations: list[Violation] = []
+
+    def _witness(state: ProtocolState) -> dict[str, object]:
+        return {
+            "phase": {_SENDING: "sending", _DELIVERED: "delivered",
+                      _EXHAUSTED: "exhausted"}[state.phase],
+            "msg": state.msg,
+            "attempt": state.attempt,
+            "nacks": state.nacks,
+            "expected": state.expected,
+            "channel": sorted(state.channel),
+        }
+
+    terminals = {k for k, s in states.items() if s.terminal}
+    delivered = 0
+    exhausted = 0
+    # iterate states (BFS discovery order) rather than the terminal set so
+    # violation order never depends on hash order
+    for key, state in states.items():
+        if not state.terminal:
+            continue
+        if state.phase == _DELIVERED:
+            delivered += 1
+            if state.expected != messages:
+                violations.append(
+                    Violation(
+                        analysis="protocol",
+                        kind="lost-message",
+                        message=(
+                            "terminal 'delivered' state where the receiver "
+                            f"accepted only {state.expected} of "
+                            f"{messages} messages"
+                        ),
+                        witness=_witness(state),
+                    )
+                )
+        else:
+            exhausted += 1
+
+    # safety: the receiver never runs ahead of the sender's stream
+    for key, state in states.items():
+        if state.expected > state.msg + 1:
+            violations.append(
+                Violation(
+                    analysis="protocol",
+                    kind="out-of-order-accept",
+                    message=(
+                        "receiver accepted a sequence number the sender "
+                        "never completed"
+                    ),
+                    witness=_witness(state),
+                )
+            )
+
+    # progress 1: no reachable non-terminal state is stuck
+    for key, outs in edges.items():
+        if key not in terminals and not outs:
+            violations.append(
+                Violation(
+                    analysis="protocol",
+                    kind="stuck-state",
+                    message="non-terminal state with no outgoing transition",
+                    witness=_witness(states[key]),
+                )
+            )
+
+    # progress 2: every reachable state can reach a terminal (no livelock)
+    reverse: dict[
+        tuple[int, int, int, int, int, Channel],
+        list[tuple[int, int, int, int, int, Channel]],
+    ] = {k: [] for k in states}
+    for key, outs in edges.items():
+        for out in outs:
+            reverse[out].append(key)
+    can_terminate = set(terminals)
+    frontier = deque(terminals)
+    while frontier:
+        key = frontier.popleft()
+        for pred in reverse[key]:
+            if pred not in can_terminate:
+                can_terminate.add(pred)
+                frontier.append(pred)
+    for key, state in states.items():
+        if key not in can_terminate:
+            violations.append(
+                Violation(
+                    analysis="protocol",
+                    kind="livelock",
+                    message="state from which no terminal is reachable",
+                    witness=_witness(state),
+                )
+            )
+
+    return AnalysisResult(
+        name="protocol",
+        violations=tuple(violations),
+        stats={
+            "messages": messages,
+            "max_retries": max_retries,
+            "states": len(states),
+            "transitions": sum(len(v) for v in edges.values()),
+            "terminals": len(terminals),
+            "delivered_terminals": delivered,
+            "exhausted_terminals": exhausted,
+        },
+    )

@@ -1,0 +1,68 @@
+"""Tests for the degradation-analysis layer behind ``repro chaos``."""
+
+from repro.faults import (
+    CHAOS_SCHEMA,
+    chaos_report,
+    degradation_curve,
+    resilience_ranking,
+    straggler_shift,
+)
+
+SHAPE = (8, 8, 8)
+
+
+class TestDegradationCurve:
+    def test_zero_rate_point_is_the_exact_baseline(self):
+        doc = degradation_curve("sp", SHAPE, 4, drop_rates=(0.0, 0.1))
+        zero = doc["points"][0]
+        assert zero["drop_rate"] == 0.0
+        assert zero["makespan"] == doc["baseline_makespan"]  # exact
+        assert zero["slowdown"] == 1.0
+        assert zero["fault_counts"]["dropped"] == 0
+
+    def test_drops_slow_the_run_and_are_counted(self):
+        doc = degradation_curve("sp", SHAPE, 4, drop_rates=(0.0, 0.1))
+        faulty = doc["points"][1]
+        assert faulty["slowdown"] > 1.0
+        assert faulty["fault_counts"]["dropped"] > 0
+        assert faulty["protocol"]["retransmits"] > 0
+
+    def test_curve_is_deterministic(self):
+        a = degradation_curve("sp", SHAPE, 4, drop_rates=(0.05,), seed=7)
+        b = degradation_curve("sp", SHAPE, 4, drop_rates=(0.05,), seed=7)
+        assert a == b
+
+
+class TestResilienceRanking:
+    def test_ranks_are_dense_and_sorted_by_slowdown(self):
+        doc = resilience_ranking("sp", SHAPE, (2, 4), drop_rate=0.1)
+        ranking = doc["ranking"]
+        assert [e["rank"] for e in ranking] == [1, 2]
+        assert ranking[0]["slowdown"] <= ranking[1]["slowdown"]
+
+    def test_each_entry_is_relative_to_its_own_baseline(self):
+        doc = resilience_ranking("sp", SHAPE, (2, 4), drop_rate=0.0)
+        for entry in doc["ranking"]:
+            assert entry["slowdown"] == 1.0
+
+
+class TestStragglerShift:
+    def test_straggler_slows_and_is_identified(self):
+        doc = straggler_shift("sp", SHAPE, 4, straggler_factor=4.0)
+        assert doc["straggler_ranks"]
+        assert doc["slowdown"] > 1.0
+        assert doc["baseline"]["length"] > 0
+        assert doc["straggled"]["length"] > doc["baseline"]["length"]
+
+
+class TestChaosReport:
+    def test_schema_and_sections(self):
+        doc = chaos_report(
+            "sp", SHAPE, 4, drop_rates=(0.0, 0.1), ranking_ps=(2, 4)
+        )
+        assert doc["schema"] == CHAOS_SCHEMA == "repro.chaos-report.v1"
+        assert {"curve", "straggler", "ranking"} <= set(doc)
+
+    def test_ranking_omitted_without_ps(self):
+        doc = chaos_report("sp", SHAPE, 4, drop_rates=(0.0,))
+        assert "ranking" not in doc

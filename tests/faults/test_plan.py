@@ -1,0 +1,97 @@
+"""Tests for FaultPlan — seeded, canonical-JSON-hashable chaos schedules."""
+
+import json
+
+import pytest
+
+from repro.faults import SCHEMA, ZERO_FAULTS, FaultPlan
+
+
+class TestValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(dup_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(straggler_rate=2.0)
+
+    def test_certain_drop_rejected(self):
+        # drop_rate == 1.0 can never complete under any bounded protocol
+        with pytest.raises(ValueError):
+            FaultPlan(drop_rate=1.0)
+
+    def test_negative_durations_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(jitter=-1e-6)
+        with pytest.raises(ValueError):
+            FaultPlan(pause_duration=-1.0)
+
+    def test_factors_must_slow_not_speed(self):
+        with pytest.raises(ValueError):
+            FaultPlan(slow_link_factor=0.5)
+        with pytest.raises(ValueError):
+            FaultPlan(straggler_factor=0.9)
+
+    def test_defaults_are_zero_plan(self):
+        assert FaultPlan() == ZERO_FAULTS
+        assert ZERO_FAULTS.is_zero
+
+    def test_is_zero_ignores_inert_factors(self):
+        # a factor with a zero rate injects nothing
+        assert FaultPlan(straggler_factor=4.0).is_zero
+        assert not FaultPlan(drop_rate=0.1).is_zero
+        assert not FaultPlan(jitter=1e-6).is_zero
+
+
+class TestCanonical:
+    def test_round_trip(self):
+        plan = FaultPlan(seed=7, drop_rate=0.1, straggler_rate=0.25,
+                         straggler_factor=3.0)
+        assert FaultPlan.from_dict(plan.to_canonical()) == plan
+
+    def test_canonical_keys_are_sorted(self):
+        keys = list(FaultPlan().to_canonical())
+        assert keys == sorted(keys)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault-plan keys"):
+            FaultPlan.from_dict({"drop_rat": 0.1})
+
+    def test_json_serializable(self):
+        doc = json.loads(json.dumps(FaultPlan(seed=3).to_canonical()))
+        assert FaultPlan.from_dict(doc) == FaultPlan(seed=3)
+
+
+class TestHash:
+    def test_hash_is_stable(self):
+        a = FaultPlan(seed=1, drop_rate=0.05)
+        b = FaultPlan(drop_rate=0.05, seed=1)
+        assert a.plan_hash() == b.plan_hash()
+        assert len(a.plan_hash()) == 64
+
+    def test_every_field_changes_the_hash(self):
+        base = FaultPlan(seed=1).plan_hash()
+        variants = [
+            FaultPlan(seed=2),
+            FaultPlan(seed=1, drop_rate=0.01),
+            FaultPlan(seed=1, dup_rate=0.01),
+            FaultPlan(seed=1, jitter=1e-6),
+            FaultPlan(seed=1, slow_link_rate=0.5, slow_link_factor=2.0),
+            FaultPlan(seed=1, straggler_rate=0.5, straggler_factor=2.0),
+            FaultPlan(seed=1, pause_rate=0.5, pause_duration=1e-3),
+        ]
+        hashes = {v.plan_hash() for v in variants}
+        assert base not in hashes
+        assert len(hashes) == len(variants)
+
+    def test_schema_tag_in_hash_material(self):
+        assert SCHEMA == "repro.fault-plan.v1"
+
+
+class TestLabel:
+    def test_label_names_active_faults_only(self):
+        label = FaultPlan(seed=9, drop_rate=0.1).label()
+        assert "seed=9" in label
+        assert "drop_rate=0.1" in label
+        assert "dup_rate" not in label

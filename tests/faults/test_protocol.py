@@ -1,0 +1,164 @@
+"""Functional tests for the reliable-delivery protocol under injected faults."""
+
+import pytest
+
+from repro.apps.adi import ADIProblem
+from repro.apps.bt import BTProblem, bt_plan
+from repro.apps.sp import SPProblem
+from repro.core.api import plan_multipartitioning
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    ProtocolConfig,
+    ProtocolExhaustedError,
+    ReliableComm,
+)
+from repro.simmpi.engine import run_programs
+from repro.simmpi.machine import origin2000
+from repro.sweep.multipart import MultipartExecutor
+
+APPS = {"sp": SPProblem, "bt": BTProblem, "adi": ADIProblem}
+
+
+def _executor(app, shape, p, faults=None, protocol=None, **kw):
+    machine = origin2000()
+    problem = APPS[app](shape, steps=1)
+    if app == "bt":
+        plan = bt_plan(shape, p, machine.to_cost_model())
+    else:
+        plan = plan_multipartitioning(shape, p, machine.to_cost_model())
+    executor = MultipartExecutor(
+        plan.partitioning, problem.field_shape, machine,
+        payload="skeleton", faults=faults, protocol=protocol, **kw,
+    )
+    return executor, problem.schedule()
+
+
+def _skeleton(app, shape, p, faults=None, protocol=None, **kw):
+    executor, schedule = _executor(
+        app, shape, p, faults=faults, protocol=protocol, **kw
+    )
+    return executor.run_skeleton(schedule)
+
+
+class TestConfigValidation:
+    def test_protocol_config_validation(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(timeout=0.0)
+        with pytest.raises(ValueError):
+            ProtocolConfig(max_retries=0)
+        with pytest.raises(ValueError):
+            ProtocolConfig(backoff=0.5)
+
+    def test_lossy_plan_requires_protocol(self):
+        with pytest.raises(ValueError, match="protocol"):
+            _executor("sp", (8, 8, 8), 4, faults=FaultPlan(drop_rate=0.1))
+        with pytest.raises(ValueError, match="protocol"):
+            _executor("sp", (8, 8, 8), 4, faults=FaultPlan(dup_rate=0.1))
+
+    def test_lossless_plans_run_bare(self):
+        # delay-only faults never lose messages: no protocol needed
+        plan = FaultPlan(seed=1, jitter=1e-5)
+        result = _skeleton("sp", (8, 8, 8), 4, faults=plan)
+        assert result.makespan > 0
+
+
+class TestPairwiseDelivery:
+    def _run_pair(self, nmsgs, drop_rate, seed=2002, config=None):
+        config = config or ProtocolConfig()
+        comms = [ReliableComm(r, 2, config) for r in range(2)]
+
+        def sender(comm):
+            for i in range(nmsgs):
+                yield from comm.send({"i": i}, dest=1, tag=5)
+            yield from comm.finalize()
+            return "sent"
+
+        def receiver(comm):
+            got = []
+            for _ in range(nmsgs):
+                got.append((yield from comm.recv(source=0, tag=5)))
+            yield from comm.finalize()
+            return got
+
+        plan = FaultPlan(seed=seed, drop_rate=drop_rate)
+        result = run_programs(
+            origin2000(),
+            [sender(comms[0]), receiver(comms[1])],
+            faults=FaultInjector(plan, 2) if drop_rate else None,
+        )
+        return result, comms
+
+    def test_in_order_exactly_once_without_faults(self):
+        result, _ = self._run_pair(5, 0.0)
+        assert result.returns[1] == [{"i": i} for i in range(5)]
+
+    def test_in_order_exactly_once_under_heavy_drops(self):
+        result, comms = self._run_pair(8, 0.4)
+        assert result.returns[1] == [{"i": i} for i in range(8)]
+        assert comms[0].stats["retransmits"] > 0
+
+    def test_stats_account_for_traffic(self):
+        result, comms = self._run_pair(4, 0.3)
+        sender = comms[0].stats
+        assert sender["data_sent"] == 4  # originals; retransmits separate
+        assert sender["retransmits"] > 0
+        assert sender["acks"] >= 4  # the matching ack ends each send
+
+
+class TestAcceptanceGrid:
+    @pytest.mark.parametrize("app", ["sp", "bt", "adi"])
+    @pytest.mark.parametrize("shape", [(8, 8, 8), (12, 12, 12)])
+    def test_all_configurations_complete_under_drops(self, app, shape):
+        plan = FaultPlan(seed=2002, drop_rate=0.1)
+        for p in (2, 4, 6, 9):
+            result = _skeleton(
+                app, shape, p, faults=plan, protocol=ProtocolConfig()
+            )
+            assert result.makespan > 0
+            assert result.protocol_stats is not None
+            # no message was silently lost: every drop was repaired
+            counts = result.fault_counts or {}
+            if counts.get("dropped", 0):
+                assert result.protocol_stats["retransmits"] > 0
+
+
+class TestExhaustion:
+    def test_hopeless_channel_raises_structured_error(self):
+        plan = FaultPlan(seed=2002, drop_rate=0.97)
+        config = ProtocolConfig(timeout=0.001, max_retries=2)
+        with pytest.raises(ProtocolExhaustedError) as excinfo:
+            _skeleton("sp", (8, 8, 8), 4, faults=plan, protocol=config)
+        exc = excinfo.value
+        assert exc.retries == 2
+        assert 0 <= exc.rank < 4
+        assert 0 <= exc.dest < 4
+
+    def test_exhaustion_is_deterministic(self):
+        plan = FaultPlan(seed=2002, drop_rate=0.97)
+
+        def blame():
+            config = ProtocolConfig(timeout=0.001, max_retries=2)
+            with pytest.raises(ProtocolExhaustedError) as excinfo:
+                _skeleton("sp", (8, 8, 8), 4, faults=plan, protocol=config)
+            e = excinfo.value
+            return (e.rank, e.dest, e.seq, e.retries)
+
+        assert blame() == blame()
+
+
+class TestProtocolStats:
+    def test_stats_attached_to_result(self):
+        result = _skeleton(
+            "sp", (8, 8, 8), 4,
+            faults=FaultPlan(seed=2002, drop_rate=0.1),
+            protocol=ProtocolConfig(),
+        )
+        stats = result.protocol_stats
+        assert stats["data_sent"] > 0
+        assert stats["acks"] > 0
+        assert (result.fault_counts or {}).get("dropped", 0) > 0
+
+    def test_no_stats_without_protocol(self):
+        result = _skeleton("sp", (8, 8, 8), 4)
+        assert result.protocol_stats is None

@@ -41,7 +41,7 @@ class TestSchemaVersioning:
     def test_schema_tag_bump_invalidates(self, tmp_path):
         old = ResultCache(tmp_path, schema_tag=SCHEMA_TAG)
         old.put(SPEC, run_spec(SPEC))
-        new = ResultCache(tmp_path, schema_tag="repro.sweep-result.v3")
+        new = ResultCache(tmp_path, schema_tag="repro.sweep-result.v4")
         # different tag -> different key -> the old entry is simply unseen
         assert new.get(SPEC) is None
         assert old.get(SPEC) is not None

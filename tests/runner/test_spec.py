@@ -104,7 +104,7 @@ class TestCacheKey:
     def test_schema_tag_changes_key(self):
         spec = ExperimentSpec(shape=(12, 12, 12), p=4)
         assert spec.cache_key() == spec.cache_key(SCHEMA_TAG)
-        assert spec.cache_key() != spec.cache_key("repro.sweep-result.v3")
+        assert spec.cache_key() != spec.cache_key("repro.sweep-result.v4")
 
 
 class TestHelpers:

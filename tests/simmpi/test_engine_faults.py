@@ -1,0 +1,151 @@
+"""Engine-level fault injection: drops, dups, jitter, stragglers, pauses."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, ZERO_FAULTS
+from repro.simmpi.comm import Comm
+from repro.simmpi.engine import run_programs
+from repro.simmpi.machine import MachineModel
+from repro.simmpi.message import CANCELLED, TIMEOUT, Bytes, ComputeOp
+
+
+def _machine(**kw):
+    defaults = dict(
+        compute_per_point=1e-6, overhead=1e-6, latency=1e-5,
+        bandwidth=1e9,
+    )
+    defaults.update(kw)
+    return MachineModel(**defaults)
+
+
+def _run(programs, plan=None, nprocs=None, **kw):
+    nprocs = nprocs or len(programs)
+    faults = FaultInjector(plan, nprocs) if plan is not None else None
+    generators = [prog(Comm(r, nprocs)) for r, prog in enumerate(programs)]
+    return run_programs(_machine(), generators, faults=faults, **kw)
+
+
+def _pair(recv_timeout=-1.0):
+    def sender(comm):
+        yield from comm.send(Bytes(1000), dest=1, tag=3)
+        return "sent"
+
+    def receiver(comm):
+        payload = yield from comm.recv(source=0, tag=3,
+                                       timeout=recv_timeout)
+        return payload
+
+    return [sender, receiver]
+
+
+class TestZeroPlanIdentity:
+    def test_zero_injector_is_bit_identical_to_none(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(Bytes(64), dest=1)
+                yield ComputeOp(seconds=5e-4)
+            else:
+                yield from comm.recv(source=0)
+                yield ComputeOp(seconds=3e-4)
+
+        base = _run([program, program])
+        zero = _run([program, program], plan=ZERO_FAULTS)
+        assert zero.makespan == base.makespan
+        assert zero.clocks == base.clocks
+        # a zero plan still reports (all-zero) counters
+        assert base.fault_counts is None
+        assert all(v == 0 for v in zero.fault_counts.values())
+
+
+class TestDrops:
+    # seed chosen arbitrarily; rate 0.999 makes the single message drop
+    PLAN = FaultPlan(seed=1, drop_rate=0.999)
+
+    def test_dropped_message_times_out_receiver(self):
+        result = _run(_pair(recv_timeout=0.05), plan=self.PLAN)
+        assert result.returns[1] is TIMEOUT
+        assert result.fault_counts["dropped"] == 1
+        assert result.fault_counts["timeouts_fired"] == 1
+
+    def test_drop_without_timeout_is_deadlock(self):
+        from repro.simmpi.engine import SimDeadlockError
+
+        with pytest.raises(SimDeadlockError):
+            _run(_pair(), plan=self.PLAN)
+
+
+class TestDuplicates:
+    PLAN = FaultPlan(seed=1, dup_rate=0.999)
+
+    def test_duplicate_delivers_twice(self):
+        def receiver(comm):
+            first = yield from comm.recv(source=0, tag=3)
+            second = yield from comm.recv(source=0, tag=3, timeout=1.0)
+            return (first, second)
+
+        def sender(comm):
+            yield from comm.send(Bytes(1000), dest=1, tag=3)
+
+        result = _run([sender, receiver])
+        base_first, base_second = result.returns[1]
+        assert base_second is TIMEOUT  # only one copy without faults
+
+        result = _run([sender, receiver], plan=self.PLAN)
+        first, second = result.returns[1]
+        assert first is not TIMEOUT and second is not TIMEOUT
+        assert result.fault_counts["duplicated"] == 1
+
+
+class TestDelays:
+    def test_jitter_delays_delivery(self):
+        base = _run(_pair())
+        jittered = _run(_pair(), plan=FaultPlan(seed=1, jitter=0.01))
+        assert jittered.makespan > base.makespan
+        assert jittered.fault_counts["delayed"] == 1
+
+    def test_slow_link_scales_transfer(self):
+        base = _run(_pair())
+        slowed = _run(
+            _pair(),
+            plan=FaultPlan(
+                seed=1, slow_link_rate=1.0, slow_link_factor=10.0
+            ),
+        )
+        assert slowed.makespan > base.makespan
+        assert slowed.fault_counts["link_slowed"] == 1
+
+
+class TestRankFaults:
+    def test_straggler_scales_compute(self):
+        def worker(comm):
+            yield ComputeOp(seconds=1e-2)
+
+        base = _run([worker, worker])
+        slow = _run(
+            [worker, worker],
+            plan=FaultPlan(
+                seed=1, straggler_rate=1.0, straggler_factor=4.0
+            ),
+        )
+        assert slow.makespan == pytest.approx(4.0 * base.makespan)
+
+    def test_pause_shifts_work_past_the_window(self):
+        def worker(comm):
+            yield ComputeOp(seconds=1e-4)
+
+        plan = FaultPlan(
+            seed=1, pause_rate=1.0, pause_start=0.0, pause_duration=0.5
+        )
+        result = _run([worker, worker], plan=plan)
+        assert result.makespan >= 0.5
+
+
+class TestCancellable:
+    def test_cancel_still_works_with_injector_attached(self):
+        def lingerer(comm):
+            value = yield from comm.recv_any(timeout=-1.0, cancellable=True)
+            return value
+
+        result = _run([lingerer, lingerer], plan=ZERO_FAULTS)
+        assert result.returns == (CANCELLED, CANCELLED)
+        assert result.fault_counts["cancelled"] == 2

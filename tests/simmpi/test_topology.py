@@ -6,12 +6,27 @@ from repro.simmpi.machine import MachineModel
 from repro.simmpi.message import Bytes, RecvOp, SendOp
 from repro.simmpi import run
 from repro.simmpi.topology import (
+    FatTree,
     FullyConnected,
     Hypercube,
     Mesh2D,
     Ring,
+    Torus3D,
     topology_for,
 )
+
+
+def _all_topologies():
+    """One instance of every topology, sized small enough to brute-force."""
+    return (
+        FullyConnected(5),
+        Ring(7),
+        Mesh2D(2, 5),
+        Torus3D(2, 3, 2),
+        FatTree(10, arity=2),
+        FatTree(9, arity=3),
+        Hypercube(3),
+    )
 
 
 class TestTopologies:
@@ -42,18 +57,62 @@ class TestTopologies:
         assert t.hops(0, 7) == 3
         assert t.diameter() == 3
 
-    def test_symmetry(self):
-        for t in (Ring(7), Mesh2D(2, 5), Hypercube(3), FullyConnected(4)):
+    def test_torus3d_hand_computed(self):
+        t = Torus3D(3, 3, 3)
+        assert t.nprocs == 27
+        # x-major: rank = x*9 + y*3 + z
+        assert t.hops(0, 1) == 1          # (0,0,0) -> (0,0,1)
+        assert t.hops(0, 2) == 1          # z wraps: distance min(2, 3-2)
+        assert t.hops(0, 9) == 1          # (0,0,0) -> (1,0,0)
+        assert t.hops(0, 18) == 1         # x wraps
+        assert t.hops(0, 13) == 3         # (0,0,0) -> (1,1,1)
+        assert t.diameter() == 3          # 1 per axis with wraparound
+
+    def test_torus3d_beats_mesh_on_wraparound(self):
+        # without wraparound the corner-to-corner distance would be 3+3+3
+        t = Torus3D(4, 4, 4)
+        corner = 3 * 16 + 3 * 4 + 3
+        assert t.hops(0, corner) == 3  # wrap each axis: min(3, 1) = 1
+
+    def test_fattree_hand_computed(self):
+        t = FatTree(16, arity=4)
+        # same leaf switch: one hop through it
+        assert t.hops(0, 3) == 1
+        # adjacent leaves share the level-2 switch: up, across, down
+        assert t.hops(0, 4) == 3
+        assert t.hops(0, 15) == 3
+        bigger = FatTree(32, arity=4)
+        assert bigger.hops(0, 16) == 5  # LCA at level 3
+
+    def test_fattree_arity_validation(self):
+        with pytest.raises(ValueError):
+            FatTree(8, arity=1)
+
+    def test_symmetry_and_identity(self):
+        for t in _all_topologies():
             for a in range(t.nprocs):
                 for b in range(t.nprocs):
                     assert t.hops(a, b) == t.hops(b, a)
                     assert (t.hops(a, b) == 0) == (a == b)
+
+    def test_triangle_inequality(self):
+        for t in _all_topologies():
+            n = t.nprocs
+            d = [[t.hops(a, b) for b in range(n)] for a in range(n)]
+            for a in range(n):
+                for b in range(n):
+                    for c in range(n):
+                        assert d[a][b] <= d[a][c] + d[c][b], (
+                            t.name, a, b, c
+                        )
 
     def test_range_checks(self):
         with pytest.raises(ValueError):
             Ring(4).hops(0, 4)
         with pytest.raises(ValueError):
             Mesh2D(0, 3)
+        with pytest.raises(ValueError):
+            Torus3D(2, 0, 2)
         with pytest.raises(ValueError):
             Hypercube(-1)
 
@@ -65,6 +124,22 @@ class TestTopologyFor:
         assert isinstance(topology_for("hypercube", 8), Hypercube)
         mesh = topology_for("mesh2d", 12)
         assert mesh.nprocs == 12
+
+    def test_torus3d_sizing(self):
+        t = topology_for("torus3d", 27)
+        assert isinstance(t, Torus3D)
+        assert (t.nx, t.ny, t.nz) == (3, 3, 3)
+        t = topology_for("torus3d", 12)
+        assert t.nprocs == 12
+        assert t.nx * t.ny * t.nz == 12
+        # primes degrade to a 1 x 1 x p ring-like torus, never an error
+        t = topology_for("torus3d", 7)
+        assert (t.nx, t.ny, t.nz) == (1, 1, 7)
+
+    def test_fattree_sizing(self):
+        t = topology_for("fattree", 10)
+        assert isinstance(t, FatTree)
+        assert t.nprocs == 10 and t.arity == 4
 
     def test_hypercube_needs_power_of_two(self):
         with pytest.raises(ValueError):

@@ -230,7 +230,7 @@ class TestSweep:
         )
         doc1 = json.loads(run_cli(capsys, *args, "--jobs", "1"))
         doc2 = json.loads(run_cli(capsys, *args, "--jobs", "2"))
-        assert doc1["schema"] == "repro.sweep-result.v2"
+        assert doc1["schema"] == "repro.sweep-result.v3"
         assert json.dumps(doc1["results"]) == json.dumps(doc2["results"])
         assert doc1["stats"]["metrics"]["counters"]["sweep.specs"][
             "total"
@@ -246,7 +246,7 @@ class TestSweep:
             ))
 
         skel, sim = doc("skeleton"), doc("simulated")
-        assert skel["schema"] == "repro.sweep-result.v2"
+        assert skel["schema"] == "repro.sweep-result.v3"
         for s, m in zip(skel["results"], sim["results"]):
             assert s["summary"] == m["summary"]
             assert s["speedup"] == m["speedup"]
@@ -285,3 +285,92 @@ class TestSweep:
 
     def test_requires_grid_or_flags(self, capsys):
         assert main(["sweep"]) == 2
+
+
+class TestFaultCommands:
+    def test_sweep_fault_drops_axis(self, capsys):
+        import json
+
+        out = json.loads(run_cli(
+            capsys, "sweep", "--shapes", "8x8x8", "--nprocs", "2,4",
+            "--mode", "skeleton", "--fault-drops", "0,0.1",
+            "--no-cache", "--json",
+        ))
+        assert len(out["results"]) == 4
+        faulty = out["results"][2:]
+        assert all(r["fault_plan"]["drop_rate"] == 0.1 for r in faulty)
+        assert all(
+            r["summary"]["faults"]["dropped"] > 0 for r in faulty
+        )
+
+    def test_sweep_faults_json_axis(self, capsys):
+        import json
+
+        out = json.loads(run_cli(
+            capsys, "sweep", "--shapes", "8x8x8", "--nprocs", "2",
+            "--mode", "skeleton",
+            "--faults", '[{"straggler_rate": 1.0, "straggler_factor": 2.0}]',
+            "--no-cache", "--json",
+        ))
+        (result,) = out["results"]
+        assert result["fault_plan"]["straggler_factor"] == 2.0
+
+    def test_sweep_faults_reject_modeled_mode(self, capsys):
+        assert main([
+            "sweep", "--shapes", "8x8x8", "--nprocs", "2",
+            "--fault-drops", "0.1", "--no-cache",
+        ]) == 2
+        assert "simulated or skeleton" in capsys.readouterr().err
+
+    def test_chaos_text_report(self, capsys):
+        out = run_cli(
+            capsys, "chaos", "--app", "sp", "--shape", "8,8,8",
+            "-p", "4", "--drops", "0,0.1", "--ranking-p", "2,4",
+        )
+        assert "degradation: sp 8x8x8" in out
+        assert "straggler shift" in out
+        assert "resilience ranking" in out
+
+    def test_chaos_json_schema(self, capsys):
+        import json
+
+        doc = json.loads(run_cli(
+            capsys, "chaos", "--app", "sp", "--shape", "8,8,8",
+            "-p", "4", "--drops", "0,0.05", "--json",
+        ))
+        assert doc["schema"] == "repro.chaos-report.v1"
+        assert doc["curve"]["points"][0]["slowdown"] == 1.0
+
+    def test_chaos_is_seed_deterministic(self, capsys):
+        args = (
+            "chaos", "--app", "sp", "--shape", "8,8,8", "-p", "4",
+            "--drops", "0.1", "--seed", "5", "--json",
+        )
+        assert run_cli(capsys, *args) == run_cli(capsys, *args)
+
+    def test_check_protocol_flag(self, capsys):
+        out = run_cli(
+            capsys, "check", "--app", "sp", "--shape", "8,8,8",
+            "-p", "4", "--protocol",
+        )
+        assert "protocol ok" in out
+
+    def test_simulate_seed_changes_field_not_timing(self, capsys):
+        base = run_cli(
+            capsys, "simulate", "--shape", "8,8,8", "-p", "2",
+            "--seed", "1",
+        )
+        again = run_cli(
+            capsys, "simulate", "--shape", "8,8,8", "-p", "2",
+            "--seed", "1",
+        )
+        assert base == again
+        assert "verified vs sequential" in base
+
+    def test_locality_new_topologies(self, capsys):
+        for topo in ("torus3d", "fattree"):
+            out = run_cli(
+                capsys, "locality", "--gammas", "2,4,4", "-p", "8",
+                "--topology", topo,
+            )
+            assert topo in out

@@ -96,6 +96,20 @@ class TestVR102Randomness:
     def test_default_rng_unseeded_flagged(self):
         assert codes("rng = np.random.default_rng()\n") == ["VR102"]
 
+    def test_literal_none_seed_flagged(self):
+        # None pulls OS entropy — exactly as unseeded as no argument
+        assert codes("rng = np.random.default_rng(None)\n") == ["VR102"]
+        assert codes("rng = np.random.default_rng(seed=None)\n") == [
+            "VR102"
+        ]
+        assert codes("r = random.Random(None)\n") == ["VR102"]
+
+    def test_seed_variable_allowed(self):
+        # a threaded CLI --seed value is exactly the sanctioned pattern
+        assert codes("rng = np.random.default_rng(args.seed)\n") == []
+        assert codes("rng = np.random.default_rng(seed=seed)\n") == []
+        assert codes("r = random.Random(args.seed)\n") == []
+
 
 class TestVR103WallClock:
     def test_wall_clock_flagged_inside_simmpi(self):

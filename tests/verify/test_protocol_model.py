@@ -1,0 +1,83 @@
+"""Tests for the reliable-delivery protocol model checker."""
+
+from repro.verify import check_protocol, verify_config
+from repro.verify.protocol import ProtocolState, _initial, explore
+
+
+class TestExplore:
+    def test_initial_state_has_data_on_the_wire(self):
+        start = _initial(1)
+        assert start.channel == frozenset({("data", 0)})
+        assert not start.terminal
+
+    def test_graph_grows_with_message_count(self):
+        one, _ = explore(messages=1, max_retries=2)
+        two, _ = explore(messages=2, max_retries=2)
+        assert len(two) > len(one) > 1
+
+    def test_every_edge_targets_a_known_state(self):
+        states, edges = explore(messages=2, max_retries=2)
+        for outs in edges.values():
+            for key in outs:
+                assert key in states
+
+    def test_terminals_have_no_successors(self):
+        states, edges = explore(messages=1, max_retries=1)
+        for key, state in states.items():
+            if state.terminal:
+                assert edges.get(key, []) == []
+
+
+class TestCheckProtocol:
+    def test_protocol_is_verified_at_default_bounds(self):
+        result = check_protocol()
+        assert result.name == "protocol"
+        assert result.violations == ()
+        assert result.stats["delivered_terminals"] >= 1
+        assert result.stats["exhausted_terminals"] >= 1
+
+    def test_deeper_bounds_also_pass(self):
+        # a sequence-number boundary plus a bigger retry budget
+        result = check_protocol(messages=3, max_retries=3)
+        assert result.violations == ()
+        assert result.stats["states"] > check_protocol(
+            messages=2, max_retries=3
+        ).stats["states"]
+
+    def test_stats_are_internally_consistent(self):
+        result = check_protocol(messages=2, max_retries=2)
+        stats = result.stats
+        assert (
+            stats["delivered_terminals"] + stats["exhausted_terminals"]
+            == stats["terminals"]
+        )
+        assert stats["transitions"] > stats["states"]
+
+    def test_exhaustion_is_a_terminal_not_a_hang(self):
+        # with a tiny retry budget exhaustion must still be reachable and
+        # detected, never a stuck state
+        result = check_protocol(messages=1, max_retries=1)
+        assert result.violations == ()
+        assert result.stats["exhausted_terminals"] >= 1
+
+
+class TestStateVocabulary:
+    def test_terminal_phases(self):
+        sending = ProtocolState(0, 0, 0, 0, 0, frozenset())
+        assert not sending.terminal
+        assert ProtocolState(1, 1, 0, 0, 1, frozenset()).terminal
+        assert ProtocolState(2, 0, 3, 0, 0, frozenset()).terminal
+
+
+class TestCheckerIntegration:
+    def test_verify_config_attaches_protocol_analysis(self):
+        report = verify_config("sp", (8, 8, 8), 4, protocol=True)
+        assert report.ok
+        names = [a.name for a in report.analyses]
+        assert "protocol" in names
+        protocol = next(a for a in report.analyses if a.name == "protocol")
+        assert protocol.stats["config_channels"] > 0
+
+    def test_protocol_analysis_absent_by_default(self):
+        report = verify_config("sp", (8, 8, 8), 4)
+        assert "protocol" not in [a.name for a in report.analyses]
